@@ -1,0 +1,50 @@
+"""Ablation: approximate Equation 5 vs the exact Equation 3 program.
+
+The paper proposes the approximation because the DP "requires N rounds of
+differential equation solving, which is CPU intensive" for mobile
+devices.  This benchmark quantifies both sides: the increments/costs the
+two produce and the CPU gap.
+"""
+
+from conftest import record
+
+from repro.analysis.reporting import format_table
+from repro.bounding.costmodel import AreaRequestCost
+from repro.bounding.distributions import UniformIncrement
+from repro.bounding.nbounding import ExactNBounding, n_bounding_increment
+
+CB = 1.0
+DIST = UniformIncrement(0.01)
+COST = AreaRequestCost(1000.0 * 104770)
+
+
+def test_exact_dp_vs_approximation(benchmark, results_dir):
+    dp = ExactNBounding(DIST, COST, CB)
+    rows = []
+    for n in (1, 2, 4, 8, 16, 32):
+        x_exact, c_exact = dp.level(n)
+        x_approx = n_bounding_increment(n, DIST, COST, CB)
+        rows.append([n, x_approx, x_exact, x_approx / x_exact, c_exact])
+    table = format_table(
+        ["N", "approx x", "exact x", "ratio", "exact C*(N)"], rows
+    )
+    record(results_dir, "ablation_bounding_exact_vs_approx", table)
+    # The approximation stays within an order of magnitude of the DP.
+    for _n, x_approx, x_exact, ratio, _c in rows:
+        assert 0.1 < ratio < 10.0
+
+    # CPU: the approximation per increment...
+    benchmark.pedantic(
+        n_bounding_increment, args=(16, DIST, COST, CB), rounds=50, iterations=10
+    )
+
+
+def test_exact_dp_cpu_cost(benchmark, results_dir):
+    """The DP's cost for one fresh table up to N=32 (cold cache)."""
+
+    def run():
+        return ExactNBounding(DIST, COST, CB).level(32)
+
+    x_star, c_star = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert x_star > 0
+    assert c_star > 0

@@ -1,0 +1,28 @@
+"""Figure 10: total communication cost vs POI content size ratio."""
+
+from conftest import BENCH_REQUESTS, record
+
+from repro.experiments.fig10_total_cost import run_fig10
+
+
+def test_fig10_total_cost(benchmark, setup, results_dir):
+    result = benchmark.pedantic(
+        run_fig10,
+        kwargs={"setup": setup, "requests": BENCH_REQUESTS},
+        rounds=1,
+        iterations=1,
+    )
+    text = result.format()
+    crossover = result.crossover_ratio()
+    record(
+        results_dir,
+        "fig10_total_cost",
+        f"{text}\n\nt-conn undercuts knn at POI/msg ratio: {crossover}",
+    )
+
+    series = result.total_cost_series()
+    for curve in series.values():
+        # Total cost grows with the POI content size for every algorithm.
+        assert curve == sorted(curve)
+    # At ratio 0 (pure clustering cost) kNN wins, as in the paper.
+    assert series["knn"][0] < series["t-conn"][0]

@@ -1,0 +1,33 @@
+"""Figure 11: clustering performance under various anonymity levels k."""
+
+from conftest import BENCH_REQUESTS, record
+
+from repro.experiments.fig11_k import run_fig11
+
+
+def test_fig11_k(benchmark, setup, results_dir):
+    result = benchmark.pedantic(
+        run_fig11,
+        kwargs={
+            "setup": setup,
+            "k_values": (5, 10, 20, 30, 40, 50),
+            "requests": BENCH_REQUESTS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig11_k", result.format())
+
+    costs = result.comm_cost_series()
+    sizes = result.cloaked_size_series()
+    # kNN cost is ~linear in k (its clusters have exactly k members).
+    assert costs["knn"][-1] > 3 * costs["knn"][0]
+    # Centralized cost never depends on k.
+    central = costs["centralized t-conn"]
+    assert max(central) - min(central) < 0.05 * max(central)
+    # Distributed t-conn grows sub-linearly (saturation, paper Fig. 11a).
+    k_ratio = result.k_values[-1] / result.k_values[0]
+    assert costs["t-conn"][-1] / costs["t-conn"][0] < k_ratio
+    # Region sizes grow with k for every algorithm.
+    for algorithm in ("t-conn", "knn"):
+        assert sizes[algorithm][-1] > sizes[algorithm][0]

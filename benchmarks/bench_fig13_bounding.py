@@ -1,0 +1,41 @@
+"""Figure 13: the four bounding algorithms under various k."""
+
+from conftest import BENCH_REQUESTS, record
+
+from repro.experiments.fig13_bounding import run_fig13
+
+
+def test_fig13_bounding(benchmark, setup, results_dir):
+    result = benchmark.pedantic(
+        run_fig13,
+        kwargs={
+            "setup": setup,
+            "k_values": (5, 10, 20, 30, 40, 50),
+            "requests": min(BENCH_REQUESTS, 300),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig13_bounding", result.format())
+
+    for i, k in enumerate(result.k_values):
+        linear = result.cells["linear"][i]
+        exponential = result.cells["exponential"][i]
+        secure = result.cells["secure"][i]
+        optimal = result.cells["optimal"][i]
+        # (a) bounding cost: conservative linear pays the most; OPT the
+        # least.  (Secure sits between linear and exponential at small k
+        # and can undercut exponential at large k, where its N-adaptive
+        # increments converge in fewer rounds.)
+        assert linear.avg_bounding_cost > secure.avg_bounding_cost
+        assert optimal.avg_bounding_cost < exponential.avg_bounding_cost
+        assert optimal.avg_bounding_cost < secure.avg_bounding_cost
+        # (b) request cost ratio: exponential loosest, secure near OPT.
+        assert exponential.avg_request_ratio > secure.avg_request_ratio
+        assert secure.avg_request_ratio < 1.2
+        # (c) total: secure best progressive, close to OPT.
+        assert secure.avg_total_cost <= linear.avg_total_cost * 1.01
+        assert secure.avg_total_cost <= exponential.avg_total_cost * 1.01
+        assert secure.avg_total_cost < 1.2 * optimal.avg_total_cost
+        # (d) CPU: everything far below a millisecond per request at k<=50.
+        assert secure.avg_cpu_ms < 5.0

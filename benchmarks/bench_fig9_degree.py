@@ -1,0 +1,35 @@
+"""Figure 9: clustering performance under various average WPG degrees.
+
+Regenerates both panels (communication cost and cloaked-region size vs
+average degree) for distributed t-Conn, kNN and centralized t-Conn, and
+asserts the paper's qualitative shapes.
+"""
+
+from conftest import BENCH_REQUESTS, record
+
+from repro.experiments.fig9_degree import run_fig9
+
+
+def test_fig9_degree(benchmark, setup, results_dir):
+    result = benchmark.pedantic(
+        run_fig9,
+        kwargs={
+            "setup": setup,
+            "m_values": (4, 8, 16, 32, 64),
+            "requests": BENCH_REQUESTS,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "fig9_degree", result.format())
+
+    costs = result.comm_cost_series()
+    sizes = result.cloaked_size_series()
+    for i in range(len(result.m_values)):
+        # Paper shape: kNN cheapest; centralized t-Conn the upper bound.
+        assert costs["knn"][i] < costs["t-conn"][i]
+        assert costs["t-conn"][i] < costs["centralized t-conn"][i]
+        # Region sizes stay in one magnitude band across degrees.
+        assert sizes["t-conn"][i] < 10 * sizes["knn"][i]
+    # Density increases with M.
+    assert result.avg_degrees == tuple(sorted(result.avg_degrees))

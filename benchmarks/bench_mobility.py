@@ -1,0 +1,36 @@
+"""Extension: cloaked-region lifetime under mobility.
+
+How fast do regions formed by the (static-snapshot) paper pipeline go
+stale once users move?  Measures the re-cloaking cadence a deployment
+would need at a given speed profile.
+"""
+
+from conftest import record
+
+from repro.config import SimulationConfig
+from repro.datasets import california_like_poi
+from repro.mobility.lifetime import run_region_lifetime
+
+
+def test_region_lifetime(benchmark, results_dir):
+    users = 8000
+    config = SimulationConfig(
+        user_count=users, delta=2e-3 * (104_770 / users) ** 0.5
+    )
+    dataset = california_like_poi(users, seed=37)
+    result = benchmark.pedantic(
+        run_region_lifetime,
+        args=(dataset, config),
+        kwargs={"requests": 120, "steps": 8, "dt": 1.0, "max_speed": 0.005},
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "mobility_lifetime", result.format())
+
+    # Regions start perfect and decay as users walk.
+    assert result.member_coverage[0] == 1.0
+    assert result.member_coverage[-1] < result.member_coverage[0]
+    # k-anonymity survives longer than full validity: losing one member
+    # breaks "fully valid" but usually not the k count.
+    for full, anon in zip(result.regions_fully_valid, result.anonymity_preserved):
+        assert anon >= full

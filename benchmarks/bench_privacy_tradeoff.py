@@ -1,0 +1,26 @@
+"""Extension (paper §VII): the privacy-loss / cost trade-off curve."""
+
+from conftest import BENCH_REQUESTS, record
+
+from repro.experiments.privacy_tradeoff import run_privacy_tradeoff
+
+
+def test_privacy_floor_tradeoff(benchmark, setup, results_dir):
+    result = benchmark.pedantic(
+        run_privacy_tradeoff,
+        kwargs={"setup": setup, "requests": min(BENCH_REQUESTS, 200)},
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "privacy_tradeoff", result.format())
+
+    rows = result.rows
+    # Privacy improves monotonically with the floor...
+    leaks = [row.worst_leak_bits for row in rows]
+    assert leaks == sorted(leaks, reverse=True)
+    # ...while the request cost (weakly) deteriorates.
+    assert rows[-1].avg_request_ratio >= rows[0].avg_request_ratio - 1e-9
+    # The guarantee holds: with floor f, the worst interval is >= f wide
+    # (up to float rounding of the width subtraction).
+    for row in rows[1:]:
+        assert row.mean_interval >= row.floor - 1e-12

@@ -1,0 +1,11 @@
+"""Table I: parameter settings, regenerated from the live configuration."""
+
+from conftest import record
+
+from repro.experiments.tables import table1_text
+
+
+def test_table1(benchmark, results_dir):
+    text = benchmark.pedantic(table1_text, rounds=1, iterations=1)
+    record(results_dir, "table1", text)
+    assert "104770" in text

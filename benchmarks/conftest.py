@@ -1,0 +1,53 @@
+"""Shared benchmark configuration.
+
+Scale: the paper runs 104,770 users and S = 2,000 requests.  A full-scale
+regeneration takes tens of minutes in pure Python, so the benchmarks
+default to a quarter-scale population (26,192 users, 500 requests) with
+the radio range scaled to preserve WPG density (see
+``ExperimentSetup.paper_default``).  Override with::
+
+    REPRO_BENCH_USERS=104770 REPRO_BENCH_REQUESTS=2000 \
+        pytest benchmarks/ --benchmark-only
+
+Every figure benchmark also writes its regenerated series to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's stdout
+capture and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import ExperimentSetup
+
+BENCH_USERS = int(os.environ.get("REPRO_BENCH_USERS", "26192"))
+BENCH_REQUESTS = int(os.environ.get("REPRO_BENCH_REQUESTS", "500"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    """One dataset + WPG/partition cache shared by every benchmark."""
+    return ExperimentSetup.paper_default(
+        users=BENCH_USERS, requests=BENCH_REQUESTS
+    )
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated figure/table and echo it for -s runs."""
+    scale_note = (
+        f"# population={BENCH_USERS} requests={BENCH_REQUESTS} "
+        f"(paper: 104770 / 2000)\n"
+    )
+    (results_dir / f"{name}.txt").write_text(scale_note + text + "\n")
+    print(f"\n{scale_note}{text}")

@@ -1,0 +1,6 @@
+"""Metric aggregation and report formatting."""
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = ["Summary", "format_series", "format_table", "summarize"]

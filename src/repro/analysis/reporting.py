@@ -1,0 +1,54 @@
+"""Plain-text tables and series, the way the benchmark harness prints them.
+
+Every figure runner renders its result through these helpers so bench
+output is uniform and diffable against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """An aligned monospace table with a header separator."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(part.rjust(width) for part, width in zip(parts, widths))
+
+    out = [line(headers), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """One x column plus one column per named series (a figure's data)."""
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(column[i] for column in series.values())]
+        for i, x in enumerate(x_values)
+    ]
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,46 @@
+"""Small statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a metric series."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    @classmethod
+    def empty(cls) -> "Summary":
+        """An all-NaN summary for an empty series."""
+        return cls(0, math.nan, math.nan, math.nan, math.nan, math.nan)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarise ``values``; an empty series yields NaNs, not errors."""
+    if not values:
+        return Summary.empty()
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = (ordered[n // 2 - 1] + ordered[n // 2]) / 2.0
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        median=median,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        stddev=math.sqrt(variance),
+    )

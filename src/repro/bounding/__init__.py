@@ -1,0 +1,77 @@
+"""Secure bounding (Section V): the paper's second phase.
+
+Obtain tight lower/upper bounds on the private attribute xi of every user
+in a cluster without any user revealing xi — users only ever answer
+yes/no to hypothesised bounds ("hypothesis-verification" paradigm).
+"""
+
+from repro.bounding.distributions import (
+    ExponentialIncrement,
+    IncrementDistribution,
+    UniformIncrement,
+)
+from repro.bounding.costmodel import AreaRequestCost, LengthRequestCost, RequestCost
+from repro.bounding.unary import unary_optimal_bound, unary_optimal_cost
+from repro.bounding.nbounding import (
+    n_bounding_exact,
+    n_bounding_increment,
+)
+from repro.bounding.policies import (
+    ExponentialPolicy,
+    IncrementPolicy,
+    LinearPolicy,
+    SecurePolicy,
+)
+from repro.bounding.protocol import (
+    BoundingOutcome,
+    optimal_bound,
+    progressive_upper_bound,
+)
+from repro.bounding.boxing import (
+    BoxBoundingResult,
+    optimal_bounding_box,
+    secure_bounding_box,
+)
+from repro.bounding.presets import (
+    PAPER_POLICY_NAMES,
+    axis_extent,
+    effective_area_cost,
+    initial_step,
+    paper_policy,
+)
+from repro.bounding.privacy import (
+    PrivacyFloorPolicy,
+    privacy_loss_intervals,
+    privacy_loss_metric,
+)
+
+__all__ = [
+    "PAPER_POLICY_NAMES",
+    "AreaRequestCost",
+    "axis_extent",
+    "effective_area_cost",
+    "initial_step",
+    "optimal_bounding_box",
+    "paper_policy",
+    "BoundingOutcome",
+    "BoxBoundingResult",
+    "ExponentialIncrement",
+    "ExponentialPolicy",
+    "IncrementDistribution",
+    "IncrementPolicy",
+    "LengthRequestCost",
+    "LinearPolicy",
+    "PrivacyFloorPolicy",
+    "RequestCost",
+    "SecurePolicy",
+    "UniformIncrement",
+    "n_bounding_exact",
+    "n_bounding_increment",
+    "optimal_bound",
+    "privacy_loss_intervals",
+    "privacy_loss_metric",
+    "progressive_upper_bound",
+    "secure_bounding_box",
+    "unary_optimal_bound",
+    "unary_optimal_cost",
+]

@@ -1,0 +1,105 @@
+"""2-D secure bounding: a cloaked rectangle from four 1-D protocol runs.
+
+The cloaked region is the bounding box of the cluster (Section III); a
+box is four directional scalar bounds (x max, -x min, y max, -y min), and
+each is obtained with the progressive protocol of
+:mod:`repro.bounding.protocol`.  Every run starts at the host's own
+coordinate: the host is a cluster member, so its coordinate is a valid
+starting floor in each direction, and it reveals nothing (the host's
+membership is public anyway; its exact position remains hidden among the
+k members' because the final box extends beyond it in all directions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.bounding.policies import IncrementPolicy
+from repro.bounding.protocol import BoundingOutcome, progressive_upper_bound
+
+
+@dataclass(frozen=True, slots=True)
+class BoxBoundingResult:
+    """A cloaked rectangle plus the cost of obtaining it.
+
+    ``messages``/``iterations`` aggregate the four directional runs;
+    ``directions`` keeps the per-direction outcomes for analysis (keys:
+    ``x_max``, ``x_min``, ``y_max``, ``y_min``).
+    """
+
+    region: Rect
+    messages: int
+    iterations: int
+    directions: dict[str, BoundingOutcome]
+
+
+#: A policy factory: one fresh policy per direction (policies may carry
+#: per-run state such as an exact-DP cache).
+PolicyFactory = Callable[[], IncrementPolicy]
+
+
+def secure_bounding_box(
+    members: Sequence[Point],
+    host_index: int,
+    policy_factory: PolicyFactory,
+    clip_to: Rect | None = None,
+) -> BoxBoundingResult:
+    """Cloak ``members`` into a rectangle via four progressive runs.
+
+    Parameters
+    ----------
+    members:
+        Positions of the cluster's members (the engine passes them; in a
+        deployment each stays on its owner's device and only answers the
+        verification queries).
+    host_index:
+        Index of the host within ``members``; its coordinate seeds each
+        directional run.
+    policy_factory:
+        Builds the increment policy; called once per direction.
+    clip_to:
+        Optional region to clip the final box to (the unit square in the
+        experiments — bounds beyond the map edge carry no information).
+    """
+    if not 0 <= host_index < len(members):
+        raise ConfigurationError(
+            f"host_index {host_index} out of range for {len(members)} members"
+        )
+    host = members[host_index]
+    runs = {
+        "x_max": progressive_upper_bound(
+            [p.x for p in members], host.x, policy_factory()
+        ),
+        "x_min": progressive_upper_bound(
+            [-p.x for p in members], -host.x, policy_factory()
+        ),
+        "y_max": progressive_upper_bound(
+            [p.y for p in members], host.y, policy_factory()
+        ),
+        "y_min": progressive_upper_bound(
+            [-p.y for p in members], -host.y, policy_factory()
+        ),
+    }
+    region = Rect(
+        -runs["x_min"].bound,
+        runs["x_max"].bound,
+        -runs["y_min"].bound,
+        runs["y_max"].bound,
+    )
+    if clip_to is not None:
+        region = region.clipped_to(clip_to)
+    return BoxBoundingResult(
+        region=region,
+        messages=sum(run.messages for run in runs.values()),
+        iterations=sum(run.iterations for run in runs.values()),
+        directions=runs,
+    )
+
+
+def optimal_bounding_box(members: Sequence[Point]) -> Rect:
+    """The OPT baseline: the exact bounding box (locations exposed)."""
+    return Rect.from_points(members)

@@ -1,0 +1,64 @@
+"""Communication cost model for secure bounding (Section V).
+
+Two cost components drive the increment optimisation:
+
+* ``Cb`` — one bound-verification round trip per still-disagreeing user
+  per iteration (a constant, Table I: 1);
+* ``R(x)`` — the cost of the *service request* issued with the final
+  bound, growing with the bound.  The paper uses two shapes:
+  ``R(x) = Cr * x^2`` when the request cost is proportional to the area
+  of the cloaked region (range query; Examples 5.1/5.3) and
+  ``R(x) = Cr * x`` when proportional to its length (Examples 5.2/5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+
+class RequestCost(Protocol):
+    """The R(x) family: request cost and its derivative at bound ``x``."""
+
+    def cost(self, x: float) -> float:
+        """The request cost at bound ``x``."""
+        ...
+
+    def derivative(self, x: float) -> float:
+        """d/dx of the request cost at ``x``."""
+        ...
+
+
+class AreaRequestCost:
+    """R(x) = Cr * x^2 — request cost proportional to region area."""
+
+    def __init__(self, cr: float) -> None:
+        if cr <= 0:
+            raise ConfigurationError(f"cr must be positive, got {cr}")
+        self.cr = cr
+
+    def cost(self, x: float) -> float:
+        """The request cost at bound ``x``."""
+        return self.cr * x * x
+
+    def derivative(self, x: float) -> float:
+        """d/dx of the request cost at ``x``."""
+        return 2.0 * self.cr * x
+
+
+class LengthRequestCost:
+    """R(x) = Cr * x — request cost proportional to region length."""
+
+    def __init__(self, cr: float) -> None:
+        if cr <= 0:
+            raise ConfigurationError(f"cr must be positive, got {cr}")
+        self.cr = cr
+
+    def cost(self, x: float) -> float:
+        """The request cost at bound ``x``."""
+        return self.cr * x
+
+    def derivative(self, x: float) -> float:
+        """d/dx of the request cost at ``x``."""
+        return self.cr

@@ -1,0 +1,105 @@
+"""Increment distributions for the bounding cost model (Section V-A).
+
+The protocol reasons about the overshoot ``x = xi - X0`` of a user who
+disagreed with the last bound X0.  The paper works the optimisation
+through two concrete distributions:
+
+* Example 5.1/5.3 — ``x`` uniform on (0, U);
+* Example 5.2/5.4 — ``x`` negative-exponential.
+
+Each distribution here exposes the density ``p``, the CDF ``P``, and the
+closed-form (or Newton-solved) optimal bounds the paper derives for it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+
+
+class IncrementDistribution(Protocol):
+    """The (p, P) pair the cost model integrates over."""
+
+    def pdf(self, x: float) -> float:
+        """Density at overshoot ``x``."""
+        ...
+
+    def cdf(self, x: float) -> float:
+        """Probability the overshoot is at most ``x``."""
+        ...
+
+    @property
+    def scale(self) -> float:
+        """A characteristic length of the distribution (U, or 1/lambda)."""
+        ...
+
+
+class UniformIncrement:
+    """Overshoot uniform on (0, U): p(x) = 1/U, P(x) = x/U (Example 5.1)."""
+
+    def __init__(self, upper: float) -> None:
+        if upper <= 0:
+            raise ConfigurationError(f"upper must be positive, got {upper}")
+        self._upper = upper
+
+    @property
+    def upper(self) -> float:
+        """The support bound U."""
+        return self._upper
+
+    @property
+    def scale(self) -> float:
+        """The characteristic length of the distribution."""
+        return self._upper
+
+    def pdf(self, x: float) -> float:
+        """Density at overshoot ``x``."""
+        return 1.0 / self._upper if 0.0 <= x <= self._upper else 0.0
+
+    def cdf(self, x: float) -> float:
+        """Probability the overshoot is at most ``x``."""
+        if x <= 0.0:
+            return 0.0
+        if x >= self._upper:
+            return 1.0
+        return x / self._upper
+
+
+class ExponentialIncrement:
+    """Overshoot exponential with rate lambda (Example 5.2).
+
+    The paper writes the density as ``e^{-lambda x} / lambda``; the
+    standard normalised form is ``lambda e^{-lambda x}``, which we use
+    (the paper's expression is a typo — it does not integrate to 1 unless
+    lambda = 1, and the paper's own CDF ``1 - e^{-lambda x}/lambda`` is
+    likewise only a CDF at lambda = 1).
+    """
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self._rate = rate
+
+    @property
+    def rate(self) -> float:
+        """The exponential rate lambda."""
+        return self._rate
+
+    @property
+    def scale(self) -> float:
+        """The characteristic length of the distribution."""
+        return 1.0 / self._rate
+
+    def pdf(self, x: float) -> float:
+        """Density at overshoot ``x``."""
+        if x < 0.0:
+            return 0.0
+        return self._rate * math.exp(-self._rate * x)
+
+    def cdf(self, x: float) -> float:
+        """Probability the overshoot is at most ``x``."""
+        if x <= 0.0:
+            return 0.0
+        return 1.0 - math.exp(-self._rate * x)

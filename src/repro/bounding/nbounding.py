@@ -1,0 +1,208 @@
+"""N-bounding: the optimal increment with N disagreeing users (Section V-B).
+
+The exact recurrence (Equation 3) sums over how many of the N users
+disagree with the proposed bound; its optimal costs C*(i) are defined
+bottom-up by dynamic programming, each level requiring a one-dimensional
+minimisation that is itself a fixed point (the i = N term contains C*(N)).
+
+The paper's practical version replaces the binomial sum with the expected
+number of disagreeing users and bounds the continuation cost linearly
+(Equation 4), whose first-order condition collapses to Equation 5:
+
+    R'(x) = (C* - R*) N p(x)
+
+with C*, R* the unary optima.  :func:`n_bounding_increment` solves
+Equation 5 (closed forms for the worked examples, bisection otherwise);
+:func:`n_bounding_exact` implements the full Equation 3 dynamic program,
+which the ablation benchmark compares against the approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.bounding.costmodel import AreaRequestCost, LengthRequestCost, RequestCost
+from repro.bounding.distributions import (
+    ExponentialIncrement,
+    IncrementDistribution,
+    UniformIncrement,
+)
+from repro.bounding.unary import unary_optimal_cost
+
+
+def n_bounding_increment(
+    n: int,
+    distribution: IncrementDistribution,
+    request_cost: RequestCost,
+    cb: float,
+    minimum: float = 1e-12,
+) -> float:
+    """The Equation 5 increment for ``n`` disagreeing users.
+
+    Closed forms (paper Examples 5.3 and 5.4):
+
+    * uniform + area: ``x = N (C* - R*) / (2 Cr U)``;
+    * exponential + length: ``x = ln((C* - R*) N lambda / Cr) / lambda``.
+
+    The result is floored at ``minimum`` (Example 5.4's logarithm can go
+    non-positive when verification is cheap relative to the request) and,
+    for bounded supports, capped at the distribution's scale — proposing
+    beyond the largest possible overshoot buys nothing.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if n == 1:
+        x_star, _c_star, _r_star = unary_optimal_cost(distribution, request_cost, cb)
+        return max(min(x_star, distribution.scale), minimum)
+    _x_star, c_star, r_star = unary_optimal_cost(distribution, request_cost, cb)
+    gain = c_star - r_star
+    if isinstance(distribution, UniformIncrement) and isinstance(
+        request_cost, AreaRequestCost
+    ):
+        x = n * gain / (2.0 * request_cost.cr * distribution.upper)
+    elif isinstance(distribution, ExponentialIncrement) and isinstance(
+        request_cost, LengthRequestCost
+    ):
+        argument = gain * n * distribution.rate / request_cost.cr
+        x = math.log(argument) / distribution.rate if argument > 1.0 else minimum
+    else:
+        x = _bisect_equation5(n, gain, distribution, request_cost)
+    return max(min(x, distribution.scale), minimum)
+
+
+def _bisect_equation5(
+    n: int,
+    gain: float,
+    distribution: IncrementDistribution,
+    request_cost: RequestCost,
+) -> float:
+    """Root of ``R'(x) - gain * N * p(x)`` (generic Equation 5)."""
+
+    def g(x: float) -> float:
+        return request_cost.derivative(x) - gain * n * distribution.pdf(x)
+
+    lo, hi = 1e-12, distribution.scale
+    if g(lo) >= 0.0:
+        return lo
+    for _doubling in range(200):
+        if g(hi) > 0.0:
+            break
+        hi *= 2.0
+    else:
+        return distribution.scale  # derivative never catches up: take the cap
+    for _iteration in range(200):
+        mid = (lo + hi) / 2.0
+        if g(mid) > 0.0:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2.0
+
+
+class ExactNBounding:
+    """Equation 3's dynamic program over the number of disagreeing users.
+
+    ``C*(i)`` and the optimal increment ``x*(i)`` are computed bottom-up;
+    each level solves ``C = min_x f(x; C)`` by fixed-point iteration (the
+    map is a contraction with factor ``(1 - P(x))^N < 1``), with a
+    golden-section search for the inner minimisation.
+    """
+
+    def __init__(
+        self,
+        distribution: IncrementDistribution,
+        request_cost: RequestCost,
+        cb: float,
+        tolerance: float = 1e-9,
+    ) -> None:
+        if cb <= 0:
+            raise ConfigurationError(f"cb must be positive, got {cb}")
+        self._dist = distribution
+        self._request = request_cost
+        self._cb = cb
+        self._tolerance = tolerance
+
+    @lru_cache(maxsize=None)
+    def level(self, n: int) -> tuple[float, float]:
+        """``(x*(n), C*(n))`` for ``n`` disagreeing users.
+
+        The self-referential i = n term of Equation 3 is eliminated
+        algebraically: at a fixed increment x,
+
+            C(x) = A(x) + (1 - P(x))^n * C(x)
+            C(x) = A(x) / (1 - (1 - P(x))^n)
+
+        where A(x) collects the verification, request and i < n
+        continuation terms, so each level is one scalar minimisation with
+        no fixed-point iteration.
+        """
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if n == 1:
+            x_star, c_star, _r_star = unary_optimal_cost(
+                self._dist, self._request, self._cb
+            )
+            return x_star, c_star
+        lower_costs = [0.0] + [self.level(i)[1] for i in range(1, n)]
+        return self._minimise(n, lower_costs)
+
+    def expected_cost(self, n: int, x: float, own_cost: float) -> float:
+        """Equation 3 evaluated at increment ``x`` with C*(n) := own_cost."""
+        lower_costs = [0.0] + [self.level(i)[1] for i in range(1, n)]
+        return self._equation3(n, x, lower_costs, own_cost)
+
+    def _equation3(
+        self, n: int, x: float, lower_costs: list[float], own_cost: float
+    ) -> float:
+        p = self._dist.cdf(x)
+        q = 1.0 - p
+        total = n * self._cb + self._request.cost(x)
+        for i in range(1, n + 1):
+            weight = math.comb(n, i) * (q**i) * (p ** (n - i))
+            continuation = own_cost if i == n else lower_costs[i]
+            total += weight * continuation
+        return total
+
+    def _closed_cost(self, n: int, x: float, lower_costs: list[float]) -> float:
+        """Equation 3's self-consistent cost at increment ``x``."""
+        p = self._dist.cdf(x)
+        if p <= 0.0:
+            return math.inf
+        q = 1.0 - p
+        partial = n * self._cb + self._request.cost(x)
+        for i in range(1, n):
+            partial += math.comb(n, i) * (q**i) * (p ** (n - i)) * lower_costs[i]
+        return partial / (1.0 - q**n)
+
+    def _minimise(self, n: int, lower_costs: list[float]) -> tuple[float, float]:
+        """Golden-section search for the self-consistent cost minimiser."""
+        phi = (math.sqrt(5.0) - 1.0) / 2.0
+        lo, hi = 1e-12, self._dist.scale
+        a, b = hi - phi * (hi - lo), lo + phi * (hi - lo)
+        fa = self._closed_cost(n, a, lower_costs)
+        fb = self._closed_cost(n, b, lower_costs)
+        for _iteration in range(300):
+            if fa <= fb:
+                hi, b, fb = b, a, fa
+                a = hi - phi * (hi - lo)
+                fa = self._closed_cost(n, a, lower_costs)
+            else:
+                lo, a, fa = a, b, fb
+                b = lo + phi * (hi - lo)
+                fb = self._closed_cost(n, b, lower_costs)
+            if hi - lo < 1e-14 + 1e-12 * hi:
+                break
+        x_star = (a + b) / 2.0
+        return x_star, self._closed_cost(n, x_star, lower_costs)
+
+
+def n_bounding_exact(
+    n: int,
+    distribution: IncrementDistribution,
+    request_cost: RequestCost,
+    cb: float,
+) -> tuple[float, float]:
+    """``(x*(n), C*(n))`` from the exact Equation 3 dynamic program."""
+    return ExactNBounding(distribution, request_cost, cb).level(n)

@@ -1,0 +1,141 @@
+"""Message-level secure bounding over the peer network.
+
+The analytic protocol in :mod:`repro.bounding.protocol` simulates the
+verification replies directly from the values; here each verification is
+a real ``verify_bound`` RPC to the member's device, so messages are
+counted by the network and can be lost.
+
+Failure handling follows the conservative rule: a member whose reply is
+lost beyond the retry budget is *treated as disagreeing* — the bound
+keeps growing, which can only loosen (never invalidate) the result.  A
+member that is crashed outright can never agree, so the run aborts with
+:class:`~repro.errors.ProtocolError` after ``max_iterations`` instead of
+looping forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import BoundingError, ConfigurationError
+from repro.bounding.policies import IncrementPolicy
+from repro.bounding.protocol import BoundingOutcome
+from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class P2PBoundingReport:
+    """One directional message-level bounding run."""
+
+    outcome: BoundingOutcome
+    messages_sent: int
+    messages_dropped: int
+    unresolved: frozenset[int]  # members that never answered (crashed)
+
+
+def p2p_upper_bound(
+    network: PeerNetwork,
+    host: int,
+    members: Sequence[int],
+    axis: int,
+    sign: float,
+    start: float,
+    policy: IncrementPolicy,
+    retries: int = 0,
+    max_iterations: int = 10_000,
+) -> P2PBoundingReport:
+    """Bound ``sign * coordinate(axis)`` of every member from above.
+
+    ``members`` should include the host; the host answers its own
+    hypothesis locally at zero message cost (its device is registered on
+    the network like any other, but we shortcut the self-call).
+    """
+    if axis not in (0, 1) or sign not in (-1.0, 1.0):
+        raise ConfigurationError(f"bad direction: axis={axis}, sign={sign}")
+    if not members:
+        raise ConfigurationError("cannot bound an empty member list")
+    sent_before = network.stats.sent
+    dropped_before = network.stats.dropped
+
+    bound = start
+    disagreeing = set(members)
+    crashed: set[int] = set()
+    intervals: dict[int, tuple[float, float]] = {}
+    rounds: dict[int, int] = {}
+    iterations = 0
+    verify_messages = 0
+
+    # Initial screening: whoever the starting bound already covers agrees
+    # for free in the analytic protocol; over the wire it still costs one
+    # round trip each (the host cannot know without asking).
+    bound, verify_messages = _verify_round(
+        network, host, disagreeing, crashed, intervals, rounds, 0, axis, sign,
+        bound, float("-inf"), retries, verify_messages,
+    )
+    while disagreeing - crashed:
+        if iterations >= max_iterations:
+            raise BoundingError(
+                f"no convergence after {max_iterations} iterations "
+                f"({len(disagreeing)} members still unresolved)"
+            )
+        previous = bound
+        step = policy.increment(len(disagreeing - crashed), bound - start)
+        if step <= 0.0:
+            raise BoundingError("policy proposed a non-positive increment")
+        bound = previous + step
+        iterations += 1
+        bound, verify_messages = _verify_round(
+            network, host, disagreeing, crashed, intervals, rounds, iterations,
+            axis, sign, bound, previous, retries, verify_messages,
+        )
+    outcome = BoundingOutcome(
+        bound=bound,
+        start=start,
+        iterations=iterations,
+        messages=verify_messages,
+        agreement_intervals=intervals,
+        agreement_rounds=rounds,
+    )
+    return P2PBoundingReport(
+        outcome=outcome,
+        messages_sent=network.stats.sent - sent_before,
+        messages_dropped=network.stats.dropped - dropped_before,
+        unresolved=frozenset(crashed),
+    )
+
+
+def _verify_round(
+    network: PeerNetwork,
+    host: int,
+    disagreeing: set[int],
+    crashed: set[int],
+    intervals: dict[int, tuple[float, float]],
+    rounds: dict[int, int],
+    iteration: int,
+    axis: int,
+    sign: float,
+    bound: float,
+    previous: float,
+    retries: int,
+    verify_messages: int,
+) -> tuple[float, int]:
+    """One verification sweep; mutates the disagreeing/crashed sets."""
+    for member in sorted(disagreeing - crashed):
+        if member != host:
+            # Self-verification is local and free; peers cost a round trip.
+            verify_messages += 1
+        try:
+            agreed = network.call(
+                host, member, "verify_bound", (axis, sign, bound), retries=retries
+            )
+        except PeerCrashed:
+            crashed.add(member)
+            continue
+        except MessageDropped:
+            continue  # conservatively still disagreeing
+        if agreed:
+            intervals[member] = (previous, bound)
+            rounds[member] = iteration
+            disagreeing.discard(member)
+    return bound, verify_messages

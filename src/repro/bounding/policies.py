@@ -1,0 +1,106 @@
+"""Increment policies for progressive bounding (Section VI-D's contenders).
+
+All progressive algorithms share one loop (propose, verify, enlarge); they
+differ only in how the next increment is computed:
+
+* ``LinearPolicy`` — a fixed step per iteration (most conservative);
+* ``ExponentialPolicy`` — the increment equals the current bound extent,
+  doubling the bound each iteration (most aggressive);
+* ``SecurePolicy`` — the paper's cost-optimal increment from Equation 5
+  (or the exact Equation 3 program), recomputed each iteration from the
+  number of users still disagreeing.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Protocol
+
+from repro.errors import ConfigurationError
+from repro.bounding.costmodel import RequestCost
+from repro.bounding.distributions import IncrementDistribution
+from repro.bounding.nbounding import ExactNBounding, n_bounding_increment
+
+
+class IncrementPolicy(Protocol):
+    """Computes the bound increment for one iteration.
+
+    Parameters: ``disagreeing`` — users still above the current bound;
+    ``extent`` — current bound minus the protocol's starting point (0 on
+    the first iteration).
+    """
+
+    name: str
+
+    def increment(self, disagreeing: int, extent: float) -> float:
+        """The next bound increment for this iteration."""
+        ...
+
+
+class LinearPolicy:
+    """Fixed increment; Table I's initial bound is the customary step."""
+
+    def __init__(self, step: float) -> None:
+        if step <= 0:
+            raise ConfigurationError(f"step must be positive, got {step}")
+        self.step = step
+        self.name = "linear"
+
+    def increment(self, disagreeing: int, extent: float) -> float:
+        """The next bound increment for this iteration."""
+        return self.step
+
+
+class ExponentialPolicy:
+    """Doubling: the increment equals the current bound extent."""
+
+    def __init__(self, initial: float) -> None:
+        if initial <= 0:
+            raise ConfigurationError(f"initial must be positive, got {initial}")
+        self.initial = initial
+        self.name = "exponential"
+
+    def increment(self, disagreeing: int, extent: float) -> float:
+        """The next bound increment for this iteration."""
+        return self.initial if extent <= 0.0 else extent
+
+
+class SecurePolicy:
+    """The paper's optimal N-bounding increment (Equation 5 / Equation 3).
+
+    ``mode="approx"`` uses the closed-form Equation 5 solution (the
+    paper's default, negligible CPU); ``mode="exact"`` runs the Equation 3
+    dynamic program (the ablation).
+    """
+
+    def __init__(
+        self,
+        distribution: IncrementDistribution,
+        request_cost: RequestCost,
+        cb: float,
+        mode: Literal["approx", "exact"] = "approx",
+    ) -> None:
+        if cb <= 0:
+            raise ConfigurationError(f"cb must be positive, got {cb}")
+        if mode not in ("approx", "exact"):
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        self._distribution = distribution
+        self._request_cost = request_cost
+        self._cb = cb
+        self._mode = mode
+        self._exact = (
+            ExactNBounding(distribution, request_cost, cb) if mode == "exact" else None
+        )
+        self.name = f"secure-{mode}"
+
+    def increment(self, disagreeing: int, extent: float) -> float:
+        """The next bound increment for this iteration."""
+        if disagreeing < 1:
+            raise ConfigurationError(
+                f"disagreeing must be >= 1, got {disagreeing}"
+            )
+        if self._exact is not None:
+            x_star, _cost = self._exact.level(disagreeing)
+            return x_star
+        return n_bounding_increment(
+            disagreeing, self._distribution, self._request_cost, self._cb
+        )

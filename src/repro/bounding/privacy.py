@@ -1,0 +1,89 @@
+"""Privacy-loss analysis for progressive bounding (paper Section VII).
+
+The paper's future-work observation: a user who disagrees with X and
+agrees with X' reveals that its xi lies in (X, X'] — the smaller the
+increment, the narrower this interval and the larger the leak.  This
+module makes that loss measurable and provides a bounding policy with a
+privacy floor: no increment is ever smaller than a chosen epsilon, so no
+user's value is ever pinned tighter than epsilon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.bounding.policies import IncrementPolicy
+from repro.bounding.protocol import BoundingOutcome
+
+
+@dataclass(frozen=True, slots=True)
+class PrivacyLoss:
+    """Summary of a bounding run's information leak.
+
+    ``min_width``/``mean_width`` describe the agreement intervals of the
+    users who actually verified (users covered by the starting bound leak
+    nothing and are excluded).  ``worst_bits`` expresses the worst leak in
+    bits relative to ``domain``: ``log2(domain / min_width)``.
+    """
+
+    users_measured: int
+    min_width: float
+    mean_width: float
+    worst_bits: float
+
+
+def privacy_loss_intervals(outcome: BoundingOutcome) -> list[float]:
+    """The finite agreement-interval widths of one bounding run."""
+    widths: list[float] = []
+    for low, high in outcome.agreement_intervals.values():
+        if math.isfinite(low):
+            widths.append(high - low)
+    return widths
+
+
+def privacy_loss_metric(
+    outcomes: Sequence[BoundingOutcome], domain: float = 1.0
+) -> PrivacyLoss:
+    """Aggregate privacy loss over one or more bounding runs."""
+    if domain <= 0:
+        raise ConfigurationError(f"domain must be positive, got {domain}")
+    widths: list[float] = []
+    for outcome in outcomes:
+        widths.extend(privacy_loss_intervals(outcome))
+    if not widths:
+        return PrivacyLoss(0, math.inf, math.inf, 0.0)
+    min_width = min(widths)
+    return PrivacyLoss(
+        users_measured=len(widths),
+        min_width=min_width,
+        mean_width=sum(widths) / len(widths),
+        worst_bits=math.log2(domain / min_width) if min_width > 0 else math.inf,
+    )
+
+
+class PrivacyFloorPolicy:
+    """Wrap any policy so increments never drop below ``floor``.
+
+    Guarantees every agreement interval is at least ``floor`` wide, at
+    the price of looser bounds (quantified by the privacy-tradeoff
+    benchmark).
+    """
+
+    def __init__(self, inner: IncrementPolicy, floor: float) -> None:
+        if floor <= 0:
+            raise ConfigurationError(f"floor must be positive, got {floor}")
+        self._inner = inner
+        self._floor = floor
+        self.name = f"{getattr(inner, 'name', 'policy')}+floor"
+
+    @property
+    def floor(self) -> float:
+        """The minimum increment this wrapper guarantees."""
+        return self._floor
+
+    def increment(self, disagreeing: int, extent: float) -> float:
+        """The next bound increment for this iteration."""
+        return max(self._inner.increment(disagreeing, extent), self._floor)

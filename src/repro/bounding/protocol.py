@@ -1,0 +1,130 @@
+"""The progressive bounding protocol (paper Algorithms 3 and 4).
+
+One scalar direction at a time: starting from a value every member's
+private xi is known to exceed, propose a bound, let every still
+-disagreeing user verify it (one Cb round trip each), enlarge by the
+policy's increment, repeat until nobody disagrees.  No user ever reveals
+xi; the host only learns, per user, the interval between the last
+disagreed and the first agreed bound — the quantity the privacy-loss
+extension measures.
+
+Users follow the semi-honest model: they answer verifications truthfully
+and do not abort, but may record everything they see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import BoundingError, ConfigurationError
+from repro.bounding.policies import IncrementPolicy
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingOutcome:
+    """Result of one progressive bounding run (one direction).
+
+    ``messages`` counts verification round trips (one per disagreeing
+    user per iteration), i.e. the bounding cost in units of Cb.
+    ``agreement_intervals`` maps each participant index to the
+    ``(last_disagreed, first_agreed)`` bounds between which its xi is now
+    known to lie — the protocol's information leak.  ``agreement_rounds``
+    maps each participant to the iteration in which it agreed (0 for
+    members the starting bound already covered); the latency estimators
+    reconstruct per-round participation from it.
+    """
+
+    bound: float
+    start: float
+    iterations: int
+    messages: int
+    agreement_intervals: dict[int, tuple[float, float]]
+    agreement_rounds: dict[int, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.agreement_rounds is None:
+            # Older call sites: assume everyone agreed in the last round.
+            object.__setattr__(
+                self,
+                "agreement_rounds",
+                {index: self.iterations for index in self.agreement_intervals},
+            )
+
+    @property
+    def extent(self) -> float:
+        """How far the final bound travelled from the start."""
+        return self.bound - self.start
+
+    def overshoot(self, values: Sequence[float]) -> float:
+        """Slack between the final bound and the true maximum."""
+        return self.bound - max(values)
+
+
+def progressive_upper_bound(
+    values: Sequence[float],
+    start: float,
+    policy: IncrementPolicy,
+    max_iterations: int = 1_000_000,
+) -> BoundingOutcome:
+    """Run Algorithm 4 to an upper bound of ``values``.
+
+    ``start`` must not exceed any value's known floor... more precisely,
+    the protocol begins at ``start`` (Algorithm 4 uses the minimum of the
+    xi domain; the cloaking engine uses the host's own coordinate) and
+    every user whose value is <= start agrees immediately at zero cost,
+    exactly as in the paper where the first hypothesis already covers
+    them.
+
+    Lower bounds are the same protocol on negated values.
+    """
+    if not values:
+        raise ConfigurationError("cannot bound an empty value set")
+    bound = start
+    disagreeing = {i: v for i, v in enumerate(values) if v > bound}
+    intervals: dict[int, tuple[float, float]] = {
+        i: (float("-inf"), start) for i, v in enumerate(values) if v <= bound
+    }
+    rounds: dict[int, int] = {i: 0 for i in intervals}
+    iterations = 0
+    messages = 0
+    while disagreeing:
+        if iterations >= max_iterations:
+            raise BoundingError(
+                f"no convergence after {max_iterations} iterations "
+                f"(policy {getattr(policy, 'name', policy)!r})"
+            )
+        previous = bound
+        step = policy.increment(len(disagreeing), bound - start)
+        if step <= 0.0:
+            raise BoundingError(
+                f"policy {getattr(policy, 'name', policy)!r} proposed a "
+                f"non-positive increment {step}"
+            )
+        bound = previous + step
+        iterations += 1
+        # Every still-disagreeing user verifies the new bound: Cb each.
+        messages += len(disagreeing)
+        for index in [i for i, v in disagreeing.items() if v <= bound]:
+            intervals[index] = (previous, bound)
+            rounds[index] = iterations
+            del disagreeing[index]
+    return BoundingOutcome(
+        bound=bound,
+        start=start,
+        iterations=iterations,
+        messages=messages,
+        agreement_intervals=intervals,
+        agreement_rounds=rounds,
+    )
+
+
+def optimal_bound(values: Sequence[float]) -> float:
+    """The OPT baseline: the exact maximum.
+
+    Not a secure protocol — every user must expose its value — but the
+    benchmark the paper compares the progressive policies against.
+    """
+    if not values:
+        raise ConfigurationError("cannot bound an empty value set")
+    return max(values)

@@ -1,0 +1,146 @@
+"""Optimal unary bounding (Section V-A, Equations 1-2).
+
+One user still disagrees with bound X0.  Proposing X = X0 + x costs one
+verification round trip Cb, the eventual request cost R(x), and — with
+probability 1 - P(x) that x fails to bound the user — the whole optimal
+cost C* again.  At the optimum C(x) = C*, which combines with the
+first-order condition into the paper's Equation 2:
+
+    P(x) R'(x) = (Cb + R(x)) p(x)
+
+This module solves Equation 2 in closed form for the paper's two worked
+examples and numerically (bisection on the monotone residual) for any
+other (distribution, cost) pair, and derives the optimal cost
+
+    C* = (Cb + R(x*)) / P(x*)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import BoundingError, ConfigurationError
+from repro.bounding.costmodel import AreaRequestCost, LengthRequestCost, RequestCost
+from repro.bounding.distributions import (
+    ExponentialIncrement,
+    IncrementDistribution,
+    UniformIncrement,
+)
+
+
+def unary_optimal_bound(
+    distribution: IncrementDistribution,
+    request_cost: RequestCost,
+    cb: float,
+) -> float:
+    """The x* solving Equation 2 for the given model.
+
+    Dispatches to the paper's closed forms when they apply:
+
+    * uniform overshoot + area cost (Example 5.1): ``x* = sqrt(Cb / Cr)``;
+    * exponential overshoot + length cost (Example 5.2): Newton's method
+      on ``e^{lambda x} = 1 + lambda (Cb/Cr + x)``;
+
+    and to a generic bisection otherwise.
+    """
+    if cb <= 0:
+        raise ConfigurationError(f"cb must be positive, got {cb}")
+    if isinstance(distribution, UniformIncrement) and isinstance(
+        request_cost, AreaRequestCost
+    ):
+        # Example 5.1; the optimum is clipped into the distribution's
+        # support — beyond U the failure probability is already zero.
+        return min(math.sqrt(cb / request_cost.cr), distribution.upper)
+    if isinstance(distribution, ExponentialIncrement) and isinstance(
+        request_cost, LengthRequestCost
+    ):
+        return _newton_exponential_length(
+            distribution.rate, cb / request_cost.cr
+        )
+    return _bisect_equation2(distribution, request_cost, cb)
+
+
+def unary_optimal_cost(
+    distribution: IncrementDistribution,
+    request_cost: RequestCost,
+    cb: float,
+) -> tuple[float, float, float]:
+    """``(x*, C*, R*)`` — optimal bound, total cost, and request cost.
+
+    ``C* = (Cb + R(x*)) / P(x*)`` follows from C(x*) = C* in Equation 1.
+    """
+    x_star = unary_optimal_bound(distribution, request_cost, cb)
+    p_star = distribution.cdf(x_star)
+    if p_star <= 0.0:
+        raise BoundingError(
+            "optimal bound has zero success probability; the distribution "
+            "and cost model are inconsistent"
+        )
+    r_star = request_cost.cost(x_star)
+    c_star = (cb + r_star) / p_star
+    return x_star, c_star, r_star
+
+
+def _newton_exponential_length(rate: float, cb_over_cr: float) -> float:
+    """Example 5.2 with the normalised exponential density.
+
+    Equation 2 reduces to ``e^{lambda x} - lambda x - 1 - lambda*Cb/Cr = 0``
+    whose residual is convex with a single positive root.
+    """
+    target = rate * cb_over_cr
+
+    # expm1 keeps the residual accurate when the root is tiny (the
+    # "verification nearly free" regime), where exp(rx) - rx - 1 would
+    # cancel catastrophically.
+    def residual(x: float) -> float:
+        return math.expm1(rate * x) - rate * x - target
+
+    def slope(x: float) -> float:
+        return rate * math.expm1(rate * x)
+
+    # The paper's suggested starting point, adapted to the normalised pdf.
+    x = math.log1p(target) / rate + 1.0 / rate
+    for _iteration in range(100):
+        step = residual(x) / slope(x)
+        x -= step
+        if x <= 0.0:
+            x = 1e-12 / rate
+        if abs(step) < 1e-12 * (1.0 + abs(x)):
+            return x
+    raise BoundingError("Newton's method failed to converge for Example 5.2")
+
+
+def _bisect_equation2(
+    distribution: IncrementDistribution,
+    request_cost: RequestCost,
+    cb: float,
+) -> float:
+    """Generic Equation 2 root finding.
+
+    The residual ``g(x) = P(x) R'(x) - (Cb + R(x)) p(x)`` starts negative
+    (P(0) = 0, p(0) > 0) and becomes positive once P(x) is large; bisect
+    between those brackets.
+    """
+
+    def g(x: float) -> float:
+        return distribution.cdf(x) * request_cost.derivative(x) - (
+            cb + request_cost.cost(x)
+        ) * distribution.pdf(x)
+
+    lo = 1e-12
+    hi = distribution.scale
+    for _doubling in range(200):
+        if g(hi) > 0.0:
+            break
+        hi *= 2.0
+    else:
+        raise BoundingError("could not bracket the Equation 2 root")
+    if g(lo) > 0.0:
+        return lo
+    for _iteration in range(200):
+        mid = (lo + hi) / 2.0
+        if g(mid) > 0.0:
+            hi = mid
+        else:
+            lo = mid
+    return (lo + hi) / 2.0

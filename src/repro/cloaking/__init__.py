@@ -1,0 +1,15 @@
+"""The two-phase non-exposure cloaking workflow (paper Fig. 3)."""
+
+from repro.cloaking.region import CloakedRegion
+from repro.cloaking.anonymizer import CentralizedAnonymizer
+from repro.cloaking.engine import CloakingEngine, CloakingResult
+from repro.cloaking.p2p_engine import P2PCloakingResult, P2PCloakingSession
+
+__all__ = [
+    "CentralizedAnonymizer",
+    "CloakedRegion",
+    "CloakingEngine",
+    "CloakingResult",
+    "P2PCloakingResult",
+    "P2PCloakingSession",
+]

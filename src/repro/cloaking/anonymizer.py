@@ -1,0 +1,105 @@
+"""The centralized anonymizer (Fig. 3, path 1).
+
+A dedicated trusted-for-proximity server that, on the first cloaking
+request, collects the complete proximity information from every user
+(|D| messages — the paper's upper-bound curve in Figs. 9a/12a), runs the
+centralized Algorithm 1 over the whole WPG, and registers every cluster.
+All subsequent requests are answered from the registry at zero cost.
+
+Note what the anonymizer sees: adjacency lists and rank weights — never a
+coordinate.  That is the paper's entire point: even the anonymizer need
+not be trusted with locations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ClusteringError, ConfigurationError
+from repro.clustering.base import ClusterRegistry, ClusterResult, Partition
+from repro.clustering.centralized import Method, centralized_k_clustering
+from repro.graph.wpg import WeightedProximityGraph
+
+
+class CentralizedAnonymizer:
+    """Serves k-clustering requests from a whole-WPG partition."""
+
+    def __init__(
+        self,
+        graph: WeightedProximityGraph,
+        k: int,
+        registry: Optional[ClusterRegistry] = None,
+        method: Method = "greedy",
+        precomputed: "Optional[Partition]" = None,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if precomputed is not None and precomputed.k != k:
+            raise ConfigurationError(
+                f"precomputed partition has k={precomputed.k}, expected {k}"
+            )
+        self._graph = graph
+        self._k = k
+        self._registry = registry if registry is not None else ClusterRegistry()
+        self._method = method
+        self._partitioned = False
+        self._unclusterable: set[int] = set()
+        self._precomputed = precomputed
+
+    @property
+    def registry(self) -> ClusterRegistry:
+        """The shared cluster-assignment registry."""
+        return self._registry
+
+    @property
+    def k(self) -> int:
+        """The anonymity requirement."""
+        return self._k
+
+    @property
+    def has_partitioned(self) -> bool:
+        """True once the one-time whole-WPG partition has run."""
+        return self._partitioned
+
+    def request(self, host: int) -> ClusterResult:
+        """Serve one cloaking request.
+
+        The first request pays for everyone: all |D| - 1 other users
+        submit their proximity information.  Later requests cost nothing.
+        """
+        if host not in self._graph:
+            raise ClusteringError(f"unknown host {host}")
+        involved = 0
+        if not self._partitioned:
+            involved = self._graph.vertex_count - 1
+            self._partition_all()
+        cluster = self._registry.cluster_of(host)
+        if cluster is None:
+            raise ClusteringError(
+                f"host {host} is in a component with fewer than k={self._k} users"
+            )
+        return ClusterResult(
+            host,
+            cluster,
+            involved=involved,
+            from_cache=self._partitioned and involved == 0,
+        )
+
+    def _partition_all(self) -> None:
+        if self._precomputed is not None:
+            partition = self._precomputed
+        else:
+            partition = centralized_k_clustering(
+                self._graph, self._k, method=self._method
+            )
+        partition.validate()
+        for group in partition.clusters:
+            self._registry.register(group)
+        for piece in partition.invalid:
+            self._unclusterable |= piece
+        self._partitioned = True
+
+    @property
+    def unclusterable(self) -> frozenset[int]:
+        """Users in components too small to ever reach k-anonymity."""
+        return frozenset(self._unclusterable)

@@ -1,0 +1,228 @@
+"""The end-to-end two-phase cloaking engine (paper Fig. 3).
+
+A request from a host user flows:
+
+1. If the host's cluster already has a cloaked region, reuse it (Fig. 3's
+   shortcut) — zero cost.
+2. Phase 1 — k-clustering, either at the centralized anonymizer or
+   distributedly at the host (both phase-1 services share the interface
+   ``request(host) -> ClusterResult``).
+3. Phase 2 — secure bounding among the cluster's members produces the
+   region; it is cached for the whole cluster (reciprocity: the region is
+   *theirs*, not the host's).
+4. The region goes into the service request; the cost of that request is
+   the server layer's business (:mod:`repro.server.costs`).
+
+The engine owns the simulation's god view (the dataset) only to *play*
+the users during secure bounding — the clustering services never see a
+coordinate, and the bounding protocol reveals only yes/no answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Literal, Optional, Protocol
+
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+from repro.clustering.base import ClusterResult
+from repro.clustering.distributed import DistributedClustering
+from repro.cloaking.anonymizer import CentralizedAnonymizer
+from repro.cloaking.region import CloakedRegion
+from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
+from repro.bounding.policies import IncrementPolicy
+from repro.bounding.presets import paper_policy
+from repro.graph.wpg import WeightedProximityGraph
+
+Mode = Literal["distributed", "centralized"]
+
+#: Builds the per-direction increment policy for a cluster of a given size;
+#: ``None`` selects the OPT baseline (exact bounding box, locations exposed).
+PolicyBuilder = Optional[Callable[[int], IncrementPolicy]]
+
+
+class ClusteringService(Protocol):
+    """Phase 1: both the anonymizer and the distributed algorithm fit."""
+
+    @property
+    def registry(self):  # noqa: ANN201 - ClusterRegistry, avoids import cycle
+        """The shared cluster-assignment registry."""
+        ...
+
+    def request(self, host: int) -> ClusterResult:
+        """Serve one k-clustering request for ``host``."""
+        ...
+
+
+@dataclass(frozen=True, slots=True)
+class CloakingResult:
+    """Everything one cloaking request produced and cost."""
+
+    host: int
+    region: CloakedRegion
+    cluster: ClusterResult
+    clustering_messages: int
+    bounding_messages: int
+    region_from_cache: bool
+
+    @property
+    def total_phase_messages(self) -> int:
+        """Clustering plus bounding messages (excludes the service request)."""
+        return self.clustering_messages + self.bounding_messages
+
+
+class CloakingEngine:
+    """Serves cloaking requests over a static population.
+
+    Parameters
+    ----------
+    dataset:
+        User positions (played during secure bounding).
+    graph:
+        The WPG over the same users.
+    config:
+        Table I parameters (k, costs).
+    mode:
+        ``"distributed"`` (Fig. 3 paths 2-3) or ``"centralized"`` (path 1).
+    policy:
+        Per-direction bounding policy: a paper policy name
+        (``"linear"``, ``"exponential"``, ``"secure"``, ``"secure-exact"``),
+        ``"optimal"`` for the OPT baseline, or a custom
+        ``cluster_size -> IncrementPolicy`` callable.
+    min_area:
+        The *granularity* metric (Section II): if set, every cloaked
+        region is expanded (centred, clipped to the unit square) until
+        its area reaches this threshold — some services demand a minimum
+        spatial extent on top of k-anonymity.
+    clustering:
+        Optional custom phase-1 service (overrides ``mode``), e.g. the
+        hilbASR baseline or a message-level protocol.
+    """
+
+    def __init__(
+        self,
+        dataset: PointDataset,
+        graph: WeightedProximityGraph,
+        config: SimulationConfig,
+        mode: Mode = "distributed",
+        policy: str | PolicyBuilder = "secure",
+        min_area: float = 0.0,
+        clustering: Optional[ClusteringService] = None,
+    ) -> None:
+        if len(dataset) != graph.vertex_count:
+            raise ConfigurationError(
+                f"dataset has {len(dataset)} users but the WPG has "
+                f"{graph.vertex_count} vertices"
+            )
+        if min_area < 0.0 or min_area > 1.0:
+            raise ConfigurationError(
+                f"min_area must be in [0, 1], got {min_area}"
+            )
+        self._min_area = min_area
+        self._dataset = dataset
+        self._graph = graph
+        self._config = config
+        self._clustering: ClusteringService
+        if clustering is not None:
+            # A custom phase-1 service (e.g. the hilbASR baseline or a
+            # message-level protocol) overrides the mode selection.
+            self._clustering = clustering
+        elif mode == "distributed":
+            self._clustering = DistributedClustering(graph, config.k)
+        elif mode == "centralized":
+            self._clustering = CentralizedAnonymizer(graph, config.k)
+        else:
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        self._policy_builder = self._resolve_policy(policy)
+        self._regions: dict[frozenset[int], CloakedRegion] = {}
+
+    def _resolve_policy(self, policy: str | PolicyBuilder) -> PolicyBuilder:
+        if policy == "optimal":
+            return None
+        if isinstance(policy, str):
+            name = policy
+            return lambda size: paper_policy(name, size, self._config)
+        return policy
+
+    @property
+    def clustering(self) -> ClusteringService:
+        """The phase-1 clustering service in use."""
+        return self._clustering
+
+    @property
+    def regions_cached(self) -> int:
+        """Number of distinct cloaked regions formed so far."""
+        return len(self._regions)
+
+    def request(self, host: int) -> CloakingResult:
+        """Serve one cloaking request end to end."""
+        cluster_result = self._clustering.request(host)
+        members = cluster_result.members
+        cached = self._regions.get(members)
+        if cached is not None:
+            return CloakingResult(
+                host=host,
+                region=cached,
+                cluster=cluster_result,
+                clustering_messages=cluster_result.involved,
+                bounding_messages=0,
+                region_from_cache=True,
+            )
+        region, bounding_messages = self._bound(members)
+        region = self._enforce_granularity(region)
+        cloaked = CloakedRegion(
+            rect=region,
+            cluster_id=len(self._regions),
+            anonymity=len(members),
+        )
+        self._regions[members] = cloaked
+        return CloakingResult(
+            host=host,
+            region=cloaked,
+            cluster=cluster_result,
+            clustering_messages=cluster_result.involved,
+            bounding_messages=bounding_messages,
+            region_from_cache=False,
+        )
+
+    def _enforce_granularity(self, region: Rect) -> Rect:
+        """Grow ``region`` until it satisfies the minimum-area metric.
+
+        Uniform margin on all sides, then clipped to the unit square;
+        the loop handles clipping at the map edge (a corner region may
+        need a few growth rounds to reach the target area).
+        """
+        if self._min_area <= 0.0 or region.area >= self._min_area:
+            return region
+        unit = Rect.unit_square()
+        grown = region
+        for _round in range(64):
+            if grown.area >= self._min_area:
+                return grown
+            # Solve (w + 2m)(h + 2m) = target for the margin m, ignoring
+            # clipping; clip and re-check.
+            w, h = grown.width, grown.height
+            # Quadratic: 4m^2 + 2(w + h)m + (wh - target) = 0.
+            target = self._min_area
+            disc = (w + h) ** 2 - 4.0 * (w * h - target)
+            margin = (-(w + h) + disc**0.5) / 4.0
+            grown = grown.expanded(max(margin, 1e-6)).clipped_to(unit)
+        return grown
+
+    def _bound(self, members: frozenset[int]) -> tuple[Rect, int]:
+        """Phase 2 over the cluster; returns (region, bounding messages)."""
+        ordered = sorted(members)
+        points = [self._dataset[i] for i in ordered]
+        if self._policy_builder is None:
+            # OPT baseline: exact box, one position message per member.
+            return optimal_bounding_box(points), len(points)
+        size = len(points)
+        result = secure_bounding_box(
+            points,
+            host_index=0,
+            policy_factory=lambda: self._policy_builder(size),
+            clip_to=Rect.unit_square(),
+        )
+        return result.region, result.messages

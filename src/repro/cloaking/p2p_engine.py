@@ -1,0 +1,196 @@
+"""End-to-end message-level cloaking (both phases over the wire).
+
+:class:`~repro.cloaking.engine.CloakingEngine` runs the algorithms
+analytically; this module runs the complete Fig. 3 workflow as actual
+network traffic: phase 1 gathers adjacency lists by RPC
+(:class:`~repro.clustering.protocol.P2PClusteringProtocol`) and phase 2
+issues four directional progressive-bounding runs whose every
+verification is a ``verify_bound`` round trip
+(:func:`~repro.bounding.p2p.p2p_upper_bound`).
+
+The host's device is the only process that ever sees the gathered data,
+and what it sees is adjacency lists and yes/no answers — never a peer
+coordinate.  Failure injection applies to both phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bounding.p2p import p2p_upper_bound
+from repro.bounding.policies import IncrementPolicy
+from repro.bounding.presets import paper_policy
+from repro.clustering.base import ClusterRegistry, ClusterResult
+from repro.clustering.protocol import P2PClusteringProtocol
+from repro.cloaking.region import CloakedRegion
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+from repro.graph.wpg import WeightedProximityGraph
+from repro.network.node import populate_network
+from repro.network.simulator import PeerNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class P2PCloakingResult:
+    """One wire-level cloaking request's outcome and traffic."""
+
+    host: int
+    region: CloakedRegion
+    cluster: ClusterResult
+    clustering_messages: int
+    bounding_messages: int
+    messages_dropped: int
+    region_from_cache: bool
+    unresolved_members: frozenset[int]
+
+
+class P2PCloakingSession:
+    """Serves cloaking requests entirely through the peer network.
+
+    Parameters
+    ----------
+    network:
+        The peer network; if the devices are not yet attached, pass
+        ``dataset``/``graph`` and call :func:`attach_devices` or use
+        :meth:`bootstrapped`.
+    graph:
+        The WPG (hosts read their own adjacency from it; everyone else's
+        crosses the network).
+    dataset:
+        Private positions, used ONLY to instantiate each user's device —
+        the session logic itself never reads a peer coordinate.
+    config:
+        Table I parameters.
+    policy_name:
+        The bounding preset for phase 2 (``secure`` by default).
+    retries:
+        Per-call retransmission budget under lossy networks.
+    """
+
+    def __init__(
+        self,
+        network: PeerNetwork,
+        graph: WeightedProximityGraph,
+        dataset: PointDataset,
+        config: SimulationConfig,
+        policy_name: str = "secure",
+        retries: int = 0,
+        registry: Optional[ClusterRegistry] = None,
+    ) -> None:
+        if len(dataset) != graph.vertex_count:
+            raise ConfigurationError(
+                f"dataset has {len(dataset)} users but the WPG has "
+                f"{graph.vertex_count} vertices"
+            )
+        self._network = network
+        self._graph = graph
+        self._dataset = dataset
+        self._config = config
+        self._policy_name = policy_name
+        self._retries = retries
+        self._clustering = P2PClusteringProtocol(
+            network, graph, config.k, registry=registry, retries=retries
+        )
+        self._regions: dict[frozenset[int], CloakedRegion] = {}
+
+    @classmethod
+    def bootstrapped(
+        cls,
+        dataset: PointDataset,
+        graph: WeightedProximityGraph,
+        config: SimulationConfig,
+        network: Optional[PeerNetwork] = None,
+        **kwargs: object,
+    ) -> "P2PCloakingSession":
+        """Create a network, attach every user's device, build a session."""
+        net = network if network is not None else PeerNetwork()
+        populate_network(net, graph, list(dataset.points))
+        return cls(net, graph, dataset, config, **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def registry(self) -> ClusterRegistry:
+        """The shared cluster-assignment registry."""
+        return self._clustering.registry
+
+    def request(self, host: int) -> P2PCloakingResult:
+        """Serve one cloaking request over the wire, end to end."""
+        clustering_report = self._clustering.request(host)
+        cluster = clustering_report.result
+        cached = self._regions.get(cluster.members)
+        if cached is not None:
+            return P2PCloakingResult(
+                host=host,
+                region=cached,
+                cluster=cluster,
+                clustering_messages=clustering_report.messages_sent,
+                bounding_messages=0,
+                messages_dropped=clustering_report.messages_dropped,
+                region_from_cache=True,
+                unresolved_members=frozenset(),
+            )
+        region, bounding_messages, dropped, unresolved = self._bound(host, cluster)
+        cloaked = CloakedRegion(
+            rect=region,
+            cluster_id=len(self._regions),
+            anonymity=cluster.size,
+        )
+        self._regions[cluster.members] = cloaked
+        return P2PCloakingResult(
+            host=host,
+            region=cloaked,
+            cluster=cluster,
+            clustering_messages=clustering_report.messages_sent,
+            bounding_messages=bounding_messages,
+            messages_dropped=clustering_report.messages_dropped + dropped,
+            region_from_cache=False,
+            unresolved_members=unresolved,
+        )
+
+    def _bound(
+        self, host: int, cluster: ClusterResult
+    ) -> tuple[Rect, int, int, frozenset[int]]:
+        members = sorted(cluster.members)
+        size = len(members)
+        position = self._dataset[host]  # the host's own private coordinate
+        directions = (
+            (0, 1.0, position.x),
+            (0, -1.0, -position.x),
+            (1, 1.0, position.y),
+            (1, -1.0, -position.y),
+        )
+        bounds: list[float] = []
+        messages = 0
+        dropped = 0
+        unresolved: set[int] = set()
+        for axis, sign, start in directions:
+            policy = self._policy(size)
+            report = p2p_upper_bound(
+                self._network,
+                host,
+                members,
+                axis=axis,
+                sign=sign,
+                start=start,
+                policy=policy,
+                retries=self._retries,
+            )
+            bounds.append(report.outcome.bound)
+            messages += report.outcome.messages
+            dropped += report.messages_dropped
+            unresolved |= report.unresolved
+        x_max, neg_x_min, y_max, neg_y_min = bounds
+        region = Rect(-neg_x_min, x_max, -neg_y_min, y_max).clipped_to(
+            Rect.unit_square()
+        )
+        return region, messages, dropped, frozenset(unresolved)
+
+    def _policy(self, size: int) -> IncrementPolicy:
+        return paper_policy(self._policy_name, size, self._config)
+
+
+#: Convenience alias matching the analytic engine's naming.
+PolicyName = str
+SessionFactory = Callable[..., P2PCloakingSession]

@@ -1,0 +1,37 @@
+"""The cloaked region: what actually goes into the service request."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class CloakedRegion:
+    """A k-anonymous rectangle shared by every member of one cluster.
+
+    ``anonymity`` is the cluster size (>= the requested k); the region is
+    identical for all members (reciprocity), so an adversary intercepting
+    a request cannot tell which member issued it.
+    """
+
+    rect: Rect
+    cluster_id: int
+    anonymity: int
+
+    def __post_init__(self) -> None:
+        if self.anonymity < 1:
+            raise ConfigurationError(
+                f"anonymity must be >= 1, got {self.anonymity}"
+            )
+
+    @property
+    def area(self) -> float:
+        """The paper's "size of cloaked location" metric."""
+        return self.rect.area
+
+    def satisfies(self, k: int) -> bool:
+        """True when the region provides at least k-anonymity."""
+        return self.anonymity >= k

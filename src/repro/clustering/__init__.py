@@ -1,0 +1,40 @@
+"""Proximity minimum k-clustering (Section IV): the paper's first phase."""
+
+from repro.clustering.base import (
+    ClusterRegistry,
+    ClusterResult,
+    InvolvementMeter,
+    Partition,
+)
+from repro.clustering.centralized import (
+    centralized_k_clustering,
+    greedy_partition,
+    strict_partition,
+)
+from repro.clustering.distributed import ClusterProposal, DistributedClustering
+from repro.clustering.hilbert_asr import HilbertASRClustering
+from repro.clustering.knn import KNNClustering, revised_knn_cluster
+from repro.clustering.quadtree import QuadtreeCloaking, reciprocity_violations
+from repro.clustering.isolation import is_cluster_isolated, isolation_counterexample
+from repro.clustering.registry_io import load_registry, save_registry
+
+__all__ = [
+    "ClusterProposal",
+    "ClusterRegistry",
+    "ClusterResult",
+    "DistributedClustering",
+    "HilbertASRClustering",
+    "InvolvementMeter",
+    "KNNClustering",
+    "Partition",
+    "QuadtreeCloaking",
+    "centralized_k_clustering",
+    "greedy_partition",
+    "is_cluster_isolated",
+    "load_registry",
+    "isolation_counterexample",
+    "reciprocity_violations",
+    "revised_knn_cluster",
+    "save_registry",
+    "strict_partition",
+]

@@ -1,0 +1,210 @@
+"""Shared clustering types: results, the assignment registry, cost meters.
+
+The reciprocity property (Section IV) demands that every user in a
+cluster S(u) maps to the same S(u); once a cluster forms, all its members
+are *assigned* and reuse the cluster (and its cloaked region) for their
+own requests.  :class:`ClusterRegistry` is the bookkeeping that enforces
+this across a workload of requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterResult:
+    """The outcome of one k-clustering request.
+
+    ``members`` always contains the host.  ``involved`` is the number of
+    distinct users who had to send their adjacency message to the host (the
+    paper's communication cost, Section VI); it is 0 when the request was
+    answered from the registry.  ``connectivity`` is the t at which the
+    cluster's members are t-connected (0 when unknown/irrelevant, e.g. for
+    the kNN baseline).
+    """
+
+    host: int
+    members: frozenset[int]
+    involved: int
+    connectivity: float = 0.0
+    from_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.host not in self.members:
+            raise ClusteringError(
+                f"host {self.host} is not a member of its own cluster"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of members in the cluster."""
+        return len(self.members)
+
+
+@dataclass(slots=True)
+class Partition:
+    """A partition of (part of) the WPG into clusters.
+
+    ``invalid`` holds pieces smaller than k — components of the WPG that
+    simply do not contain k users (paper Fig. 5's isolated vertex g).  They
+    are reported rather than silently merged so callers can count failed
+    requests.
+    """
+
+    k: int
+    clusters: list[set[int]] = field(default_factory=list)
+    invalid: list[set[int]] = field(default_factory=list)
+
+    def all_groups(self) -> Iterator[set[int]]:
+        """Iterate valid clusters, then invalid pieces."""
+        yield from self.clusters
+        yield from self.invalid
+
+    @property
+    def covered(self) -> int:
+        """Total number of vertices across all groups."""
+        return sum(len(g) for g in self.all_groups())
+
+    def cluster_of(self, vertex: int) -> Optional[set[int]]:
+        """The valid cluster containing ``vertex``, or None."""
+        for cluster in self.clusters:
+            if vertex in cluster:
+                return cluster
+        return None
+
+    def validate(self) -> None:
+        """Check the partition invariants; raises :class:`ClusteringError`.
+
+        Every valid cluster must have >= k members, groups must be
+        disjoint, and no vertex may appear twice.
+        """
+        seen: set[int] = set()
+        for cluster in self.clusters:
+            if len(cluster) < self.k:
+                raise ClusteringError(
+                    f"cluster of size {len(cluster)} violates k={self.k}"
+                )
+            if cluster & seen:
+                raise ClusteringError("clusters overlap")
+            seen |= cluster
+        for piece in self.invalid:
+            if len(piece) >= self.k:
+                raise ClusteringError("piece marked invalid but has >= k members")
+            if piece & seen:
+                raise ClusteringError("invalid piece overlaps a cluster")
+            seen |= piece
+
+
+class ClusterRegistry:
+    """Tracks which users are already clustered and in what cluster.
+
+    Cluster ids are dense integers in registration order.  Registering a
+    group containing an already-assigned user is an error: reciprocity
+    makes cluster membership permanent.
+    """
+
+    def __init__(self) -> None:
+        self._clusters: list[frozenset[int]] = []
+        self._assignment: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._assignment
+
+    @property
+    def assigned_count(self) -> int:
+        """Total number of users assigned to any cluster."""
+        return len(self._assignment)
+
+    @property
+    def assigned(self) -> frozenset[int]:
+        """All currently assigned users (snapshot)."""
+        return frozenset(self._assignment)
+
+    def assigned_view(self) -> dict[int, int].keys:  # type: ignore[valid-type]
+        """A live, read-only view of assigned users (no copying).
+
+        The distributed algorithm excludes assigned users from every
+        traversal; copying 100k ids per request would dominate runtime.
+        """
+        return self._assignment.keys()
+
+    def register(self, members: Iterable[int]) -> int:
+        """Record a new cluster; returns its id."""
+        group = frozenset(members)
+        if not group:
+            raise ClusteringError("cannot register an empty cluster")
+        already = [v for v in group if v in self._assignment]
+        if already:
+            raise ClusteringError(
+                f"users already clustered: {sorted(already)[:5]} (reciprocity)"
+            )
+        cluster_id = len(self._clusters)
+        self._clusters.append(group)
+        for vertex in group:
+            self._assignment[vertex] = cluster_id
+        return cluster_id
+
+    def cluster_of(self, vertex: int) -> Optional[frozenset[int]]:
+        """The registered cluster of ``vertex``, or None if unassigned."""
+        cluster_id = self._assignment.get(vertex)
+        if cluster_id is None:
+            return None
+        return self._clusters[cluster_id]
+
+    def cluster_by_id(self, cluster_id: int) -> frozenset[int]:
+        """The members of cluster ``cluster_id``."""
+        return self._clusters[cluster_id]
+
+    def check_reciprocity(self) -> None:
+        """Verify S(v) = S(u) for all v in S(u); raises on violation."""
+        for cluster_id, group in enumerate(self._clusters):
+            for vertex in group:
+                if self._assignment.get(vertex) != cluster_id:
+                    raise ClusteringError(
+                        f"reciprocity violated at user {vertex}: assigned to "
+                        f"{self._assignment.get(vertex)}, expected {cluster_id}"
+                    )
+
+
+class InvolvementMeter:
+    """Counts the distinct users involved in answering one request.
+
+    Section VI: "the communication cost essentially equals the number of
+    involved users" because each involved user sends exactly one adjacency
+    message to the host.  The meter is passed as the ``spy`` callback of
+    the graph traversals.
+    """
+
+    def __init__(self, host: int) -> None:
+        self._host = host
+        self._involved: set[int] = set()
+
+    def __call__(self, vertex: int) -> None:
+        self.touch(vertex)
+
+    def touch(self, vertex: int) -> None:
+        """Record ``vertex`` as involved (the host itself is free)."""
+        if vertex != self._host:
+            self._involved.add(vertex)
+
+    def touch_all(self, vertices: Iterable[int]) -> None:
+        """Record every vertex in ``vertices`` as involved."""
+        for vertex in vertices:
+            self.touch(vertex)
+
+    @property
+    def count(self) -> int:
+        """Number of distinct involved users so far."""
+        return len(self._involved)
+
+    @property
+    def involved(self) -> frozenset[int]:
+        """The involved users (snapshot)."""
+        return frozenset(self._involved)

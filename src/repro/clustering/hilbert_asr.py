@@ -1,0 +1,123 @@
+"""The hilbASR baseline (related work, Section II).
+
+Ghinita et al.'s hilbASR sorts all users by Hilbert space-filling-curve
+order and groups every k consecutive users into a bucket; a host's
+cloaked set is its bucket.  Buckets are fixed for everyone, so the
+scheme satisfies reciprocity by construction, and the curve's locality
+keeps buckets geometrically compact.
+
+The paper cites hilbASR as the strongest prior cloaking scheme — and as
+one that requires users to expose their coordinates (to build the sorted
+order).  It is included here as an extra comparator: an *upper* baseline
+for region quality that the non-exposure algorithms can be measured
+against, complementing kNN as the lower baseline.
+
+The ``start_offset`` parameter reproduces the scheme's randomised bucket
+boundary (a privacy measure in the original): buckets begin at a random
+offset along the curve, and the trailing fewer-than-2k users wrap into
+the final bucket so every bucket has >= k members.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.clustering.base import ClusterRegistry, ClusterResult
+from repro.datasets.base import PointDataset
+from repro.errors import ClusteringError, ConfigurationError
+from repro.spatial.hilbert import DEFAULT_ORDER, point_to_index
+
+
+class HilbertASRClustering:
+    """Answers k-clustering requests from precomputed Hilbert buckets.
+
+    Unlike the non-exposure algorithms this baseline *sees coordinates*
+    (it needs them to compute curve positions) — exactly the trust
+    assumption the paper eliminates.  The interface matches the other
+    phase-1 services so the experiment harness can drive it unchanged.
+
+    Cost model: like the centralized anonymizer, the first request pays
+    one position submission per user; later requests are free.
+    """
+
+    def __init__(
+        self,
+        dataset: PointDataset,
+        k: int,
+        registry: Optional[ClusterRegistry] = None,
+        order: int = DEFAULT_ORDER,
+        start_offset: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if k > len(dataset):
+            raise ConfigurationError(
+                f"k ({k}) exceeds the population ({len(dataset)})"
+            )
+        if start_offset < 0:
+            raise ConfigurationError(
+                f"start_offset must be >= 0, got {start_offset}"
+            )
+        self._dataset = dataset
+        self._k = k
+        self._registry = registry if registry is not None else ClusterRegistry()
+        self._order = order
+        self._offset = start_offset % len(dataset)
+        self._bucketed = False
+
+    @property
+    def registry(self) -> ClusterRegistry:
+        """The shared cluster-assignment registry."""
+        return self._registry
+
+    @property
+    def k(self) -> int:
+        """The anonymity requirement."""
+        return self._k
+
+    def request(self, host: int) -> ClusterResult:
+        """Serve one request; the first one builds all buckets."""
+        if not 0 <= host < len(self._dataset):
+            raise ClusteringError(f"unknown host {host}")
+        involved = 0
+        if not self._bucketed:
+            involved = len(self._dataset) - 1
+            self._build_buckets()
+        cluster = self._registry.cluster_of(host)
+        if cluster is None:  # cannot happen: buckets cover everyone
+            raise ClusteringError(f"host {host} missing from the bucketing")
+        return ClusterResult(
+            host,
+            cluster,
+            involved=involved,
+            from_cache=involved == 0,
+        )
+
+    def _build_buckets(self) -> None:
+        order = sorted(
+            range(len(self._dataset)),
+            key=lambda i: (point_to_index(self._dataset[i], self._order), i),
+        )
+        rotated = order[self._offset :] + order[: self._offset]
+        for bucket in _buckets_of_k(rotated, self._k):
+            self._registry.register(bucket)
+        self._bucketed = True
+
+
+def _buckets_of_k(ordered: Sequence[int], k: int) -> list[list[int]]:
+    """Split a sequence into consecutive groups of k, last group >= k.
+
+    The trailing ``len % k`` users merge into the final bucket so every
+    bucket satisfies the anonymity requirement.
+    """
+    buckets: list[list[int]] = []
+    full = len(ordered) // k
+    for b in range(full):
+        buckets.append(list(ordered[b * k : (b + 1) * k]))
+    leftover = list(ordered[full * k :])
+    if leftover:
+        if buckets:
+            buckets[-1].extend(leftover)
+        else:
+            buckets.append(leftover)  # fewer than k users in total
+    return buckets

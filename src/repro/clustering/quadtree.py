@@ -1,0 +1,130 @@
+"""Quadtree spatio-temporal cloaking (Gruteser & Grunwald, related work).
+
+The first cloaking algorithm in the literature (Section II): a trusted
+middleware indexes all user locations in a quadtree and, per request,
+"traverses the tree until it finds a quadrant containing the requesting
+user and other k-1 users" — the deepest quadrant around the host still
+holding at least k users is the cloaked region.
+
+This baseline exists here for two reasons:
+
+* it is the classic coordinate-exposing comparator every cloaking paper
+  measures against, and
+* it famously does **not** satisfy the reciprocity property Theorem 4.1
+  requires: two users in the same returned quadrant can receive
+  *different* quadrants for their own requests (when one of them sits in
+  a sub-quadrant that is itself k-populated), so an adversary observing
+  a request can eliminate some of the k candidates.
+  :func:`reciprocity_violations` finds such witnesses — the executable
+  version of the paper's criticism of non-reciprocal schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datasets.base import PointDataset
+from repro.errors import ClusteringError, ConfigurationError
+from repro.geometry.rect import Rect
+from repro.spatial.grid import GridIndex
+
+
+class QuadtreeCloaking:
+    """Per-request quadrant cloaking over a static population.
+
+    Unlike the registry-based schemes there is no cluster state: each
+    request independently descends the (implicit) quadtree.  The maximum
+    depth bounds the recursion on degenerate data (many users stacked on
+    one point).
+    """
+
+    def __init__(
+        self,
+        dataset: PointDataset,
+        k: int,
+        max_depth: int = 20,
+    ) -> None:
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        if k > len(dataset):
+            raise ConfigurationError(
+                f"k ({k}) exceeds the population ({len(dataset)})"
+            )
+        if max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        self._dataset = dataset
+        self._k = k
+        self._max_depth = max_depth
+        self._index = GridIndex(dataset.points, cell_size=0.01)
+
+    @property
+    def k(self) -> int:
+        """The anonymity requirement."""
+        return self._k
+
+    def region_for(self, host: int) -> Rect:
+        """The deepest quadrant around ``host`` holding >= k users."""
+        if not 0 <= host < len(self._dataset):
+            raise ClusteringError(f"unknown host {host}")
+        position = self._dataset[host]
+        quadrant = Rect.unit_square()
+        for _depth in range(self._max_depth):
+            child = self._child_containing(quadrant, position)
+            if self._index.count_rect(child) < self._k:
+                break
+            quadrant = child
+        return quadrant
+
+    def anonymity_set(self, host: int) -> frozenset[int]:
+        """The users inside the host's returned quadrant."""
+        return frozenset(self._index.query_rect(self.region_for(host)))
+
+    @staticmethod
+    def _child_containing(quadrant: Rect, position) -> Rect:
+        mid_x = (quadrant.x_min + quadrant.x_max) / 2.0
+        mid_y = (quadrant.y_min + quadrant.y_max) / 2.0
+        x_lo = position.x < mid_x
+        y_lo = position.y < mid_y
+        return Rect(
+            quadrant.x_min if x_lo else mid_x,
+            mid_x if x_lo else quadrant.x_max,
+            quadrant.y_min if y_lo else mid_y,
+            mid_y if y_lo else quadrant.y_max,
+        )
+
+
+def reciprocity_violations(
+    cloaking: QuadtreeCloaking, host: int, limit: Optional[int] = None
+) -> list[int]:
+    """Members of the host's quadrant who would get a *different* region.
+
+    A non-empty result is an attack witness: the adversary intercepting
+    the host's request can discard those users as possible requesters
+    (they would have sent a smaller quadrant), shrinking the effective
+    anonymity set below k — precisely why the paper's Theorem 4.1
+    demands reciprocity.
+    """
+    region = cloaking.region_for(host)
+    violators: list[int] = []
+    for member in sorted(cloaking.anonymity_set(host)):
+        if member == host:
+            continue
+        if cloaking.region_for(member) != region:
+            violators.append(member)
+            if limit is not None and len(violators) >= limit:
+                break
+    return violators
+
+
+def effective_anonymity(cloaking: QuadtreeCloaking, host: int) -> int:
+    """Users in the host's quadrant who would send the *same* quadrant.
+
+    The adversary's surviving candidate set; reciprocity holds iff this
+    equals the quadrant's population.
+    """
+    region = cloaking.region_for(host)
+    return sum(
+        1
+        for member in cloaking.anonymity_set(host)
+        if cloaking.region_for(member) == region
+    )

@@ -1,0 +1,51 @@
+"""Cluster-registry persistence.
+
+Reciprocity makes cluster membership permanent, so a deployment must
+durably remember who is clustered with whom across restarts — otherwise
+a re-clustered user could receive a different region and break the
+indistinguishability argument.  The format is JSON: a list of clusters
+in registration order (ids are positional, matching
+:class:`~repro.clustering.base.ClusterRegistry` semantics).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.clustering.base import ClusterRegistry
+from repro.errors import ClusteringError
+
+
+def save_registry(registry: ClusterRegistry, path: str | Path) -> None:
+    """Write the registry's clusters, in registration order."""
+    clusters = [
+        sorted(registry.cluster_by_id(cid)) for cid in range(len(registry))
+    ]
+    Path(path).write_text(
+        json.dumps({"format": "cluster-registry-v1", "clusters": clusters})
+    )
+
+
+def load_registry(path: str | Path) -> ClusterRegistry:
+    """Rebuild a registry written by :func:`save_registry`.
+
+    Cluster ids are preserved (same registration order), so any cached
+    region keyed by cluster id remains valid.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise ClusteringError(f"registry file not found: {source}")
+    try:
+        payload = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise ClusteringError(f"{source}: not valid JSON") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "cluster-registry-v1":
+        raise ClusteringError(f"{source}: unknown registry format")
+    clusters = payload.get("clusters")
+    if not isinstance(clusters, list):
+        raise ClusteringError(f"{source}: malformed clusters payload")
+    registry = ClusterRegistry()
+    for group in clusters:
+        registry.register(group)
+    return registry

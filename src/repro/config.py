@@ -1,0 +1,108 @@
+"""Simulation parameters (paper Table I) and their validation.
+
+Table I of the paper:
+
+    # of users                          104,770
+    distance threshold      delta       2e-3
+    max # of connected peers    M       10
+    k-anonymity                 k       10
+    bounding cost              Cb       1
+    service request cost       Cr       1,000
+    uniform distribution bound  U       N / 104,770
+    initial bound               X       N / 104,770
+    # of user requests          S       2,000
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Number of users in the paper's dataset.
+DEFAULT_USER_COUNT = 104_770
+
+#: Communication range of a device, in unit-square lengths.
+DEFAULT_DELTA = 2e-3
+
+#: Maximum number of peers a device keeps connections to.
+DEFAULT_MAX_PEERS = 10
+
+#: Default anonymity requirement.
+DEFAULT_K = 10
+
+#: Cost of one bound-verification round trip, per user (messages).
+DEFAULT_BOUNDING_COST = 1.0
+
+#: Cost of shipping one POI's content, relative to a bounding message.
+DEFAULT_REQUEST_COST = 1000.0
+
+#: Default number of cloaking requests per experiment.
+DEFAULT_REQUEST_COUNT = 2_000
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """A validated bundle of all Table I parameters.
+
+    ``uniform_bound_u`` and ``initial_bound`` are per-cluster quantities
+    (``N_cluster / user_count``) and therefore computed at run time by the
+    bounding layer; the helpers below expose the formulas.
+    """
+
+    user_count: int = DEFAULT_USER_COUNT
+    delta: float = DEFAULT_DELTA
+    max_peers: int = DEFAULT_MAX_PEERS
+    k: int = DEFAULT_K
+    bounding_cost: float = DEFAULT_BOUNDING_COST
+    request_cost: float = DEFAULT_REQUEST_COST
+    request_count: int = DEFAULT_REQUEST_COUNT
+    seed: int = 2009
+
+    def __post_init__(self) -> None:
+        if self.user_count < 1:
+            raise ConfigurationError(f"user_count must be >= 1, got {self.user_count}")
+        if self.delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {self.delta}")
+        if self.max_peers < 1:
+            raise ConfigurationError(f"max_peers must be >= 1, got {self.max_peers}")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.k > self.user_count:
+            raise ConfigurationError(
+                f"k ({self.k}) cannot exceed user_count ({self.user_count})"
+            )
+        if self.bounding_cost <= 0:
+            raise ConfigurationError(
+                f"bounding_cost must be positive, got {self.bounding_cost}"
+            )
+        if self.request_cost <= 0:
+            raise ConfigurationError(
+                f"request_cost must be positive, got {self.request_cost}"
+            )
+        if self.request_count < 1:
+            raise ConfigurationError(
+                f"request_count must be >= 1, got {self.request_count}"
+            )
+
+    def uniform_bound_u(self, cluster_size: int) -> float:
+        """Table I's ``U = N / user_count`` for a cluster of size N.
+
+        Under a uniform population, a cluster of N users is expected to
+        occupy a fraction N/|D| of the unit square's area.
+        """
+        if cluster_size < 1:
+            raise ConfigurationError(f"cluster_size must be >= 1, got {cluster_size}")
+        return cluster_size / self.user_count
+
+    def initial_bound(self, cluster_size: int) -> float:
+        """Table I's initial hypothesis ``X = N / user_count`` (an area)."""
+        return self.uniform_bound_u(cluster_size)
+
+    def with_overrides(self, **changes: object) -> "SimulationConfig":
+        """A copy of this config with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+#: The paper's default configuration (Table I).
+DEFAULTS = SimulationConfig()

@@ -1,0 +1,20 @@
+"""User/POI datasets: containers, synthetic generators and CSV I/O."""
+
+from repro.datasets.base import PointDataset
+from repro.datasets.synthetic import (
+    gaussian_clusters,
+    grid_points,
+    uniform_points,
+)
+from repro.datasets.california import california_like_poi
+from repro.datasets.io import load_csv, save_csv
+
+__all__ = [
+    "PointDataset",
+    "california_like_poi",
+    "gaussian_clusters",
+    "grid_points",
+    "load_csv",
+    "save_csv",
+    "uniform_points",
+]

@@ -1,0 +1,95 @@
+"""The dataset container every generator and loader produces.
+
+The paper normalises the 104,770 California POIs into a unit square and
+treats each POI as a user standing at its coordinates.  ``PointDataset``
+captures exactly that contract: an ordered, immutable sequence of points,
+normalised on request into the unit square.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class PointDataset:
+    """An ordered collection of planar points with ids ``0..n-1``.
+
+    The user id in every algorithm of this library is the point's index in
+    its dataset.  Instances are immutable; normalisation returns a new
+    dataset.
+    """
+
+    def __init__(self, points: Sequence[Point], name: str = "dataset") -> None:
+        if not points:
+            raise DatasetError("a dataset must contain at least one point")
+        self._points: tuple[Point, ...] = tuple(points)
+        self._name = name
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __getitem__(self, idx: int) -> Point:
+        return self._points[idx]
+
+    @property
+    def name(self) -> str:
+        """The dataset's human-readable name."""
+        return self._name
+
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """The points as an immutable tuple."""
+        return self._points
+
+    # -- derived views ---------------------------------------------------------
+
+    def bounds(self) -> Rect:
+        """The tightest rectangle enclosing all points."""
+        return Rect.from_points(self._points)
+
+    def as_array(self) -> np.ndarray:
+        """The coordinates as an ``(n, 2)`` float array."""
+        return np.array([(p.x, p.y) for p in self._points], dtype=float)
+
+    def normalized(self) -> "PointDataset":
+        """This dataset rescaled to fill the unit square.
+
+        Both axes are scaled by the same factor (the larger extent) so the
+        geometry is preserved; a degenerate axis (all points collinear)
+        keeps its coordinate.
+        """
+        box = self.bounds()
+        scale = max(box.width, box.height)
+        if scale == 0.0:
+            raise DatasetError("cannot normalise a dataset of identical points")
+        points = [
+            Point((p.x - box.x_min) / scale, (p.y - box.y_min) / scale)
+            for p in self._points
+        ]
+        return PointDataset(points, name=f"{self._name}-normalized")
+
+    def sample(self, count: int, rng: np.random.Generator) -> list[int]:
+        """``count`` distinct point ids drawn uniformly without replacement."""
+        if count > len(self._points):
+            raise DatasetError(
+                f"cannot sample {count} ids from a dataset of {len(self._points)}"
+            )
+        return [int(i) for i in rng.choice(len(self._points), size=count, replace=False)]
+
+    def subset(self, ids: Sequence[int], name: str | None = None) -> "PointDataset":
+        """A new dataset containing only the points with the given ids."""
+        return PointDataset(
+            [self._points[i] for i in ids],
+            name=name if name is not None else f"{self._name}-subset",
+        )

@@ -1,0 +1,53 @@
+"""CSV persistence for point datasets.
+
+Real POI files (e.g. the USGS California dataset the paper used) can be
+dropped in as two-column CSV and loaded with :func:`load_csv`; everything
+downstream is agnostic to where the points came from.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.datasets.base import PointDataset
+from repro.geometry.point import Point
+
+
+def save_csv(dataset: PointDataset, path: str | Path) -> None:
+    """Write ``dataset`` as ``x,y`` rows with a header line."""
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["x", "y"])
+        for point in dataset:
+            writer.writerow([repr(point.x), repr(point.y)])
+
+
+def load_csv(path: str | Path, name: str | None = None) -> PointDataset:
+    """Read a dataset written by :func:`save_csv` (or any ``x,y`` CSV).
+
+    A header row is detected and skipped if its first field is not numeric.
+    """
+    source = Path(path)
+    if not source.exists():
+        raise DatasetError(f"dataset file not found: {source}")
+    points: list[Point] = []
+    with source.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if not row:
+                continue
+            try:
+                x, y = float(row[0]), float(row[1])
+            except (ValueError, IndexError) as exc:
+                if row_number == 0:
+                    continue  # header
+                raise DatasetError(
+                    f"{source}:{row_number + 1}: malformed row {row!r}"
+                ) from exc
+            points.append(Point(x, y))
+    if not points:
+        raise DatasetError(f"{source} contains no points")
+    return PointDataset(points, name=name if name is not None else source.stem)

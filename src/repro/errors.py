@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from protocol failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter is out of its valid domain (e.g. k < 1, delta <= 0)."""
+
+
+class GraphError(ReproError):
+    """A graph operation received an inconsistent or unknown vertex/edge."""
+
+
+class ClusteringError(ReproError):
+    """A k-clustering request cannot be satisfied.
+
+    Raised, for example, when the host vertex's connected component holds
+    fewer than k users, so no valid cluster exists at any connectivity.
+    """
+
+
+class BoundingError(ReproError):
+    """A secure-bounding protocol failed to converge or was misconfigured."""
+
+
+class ProtocolError(ReproError):
+    """A message-level protocol violated its state machine.
+
+    This covers malformed replies, deadlocks detected by the concurrency
+    controller, and exhausted retry budgets under failure injection.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, parsed, or normalised."""

@@ -1,0 +1,32 @@
+"""The evaluation harness: one runner per figure/table of Section VI."""
+
+from repro.experiments.harness import (
+    ClusteringWorkloadResult,
+    ExperimentSetup,
+    run_clustering_workload,
+)
+from repro.experiments.workloads import sample_hosts
+from repro.experiments.fig9_degree import Fig9Result, run_fig9
+from repro.experiments.fig10_total_cost import Fig10Result, run_fig10
+from repro.experiments.fig11_k import Fig11Result, run_fig11
+from repro.experiments.fig12_requests import Fig12Result, run_fig12
+from repro.experiments.fig13_bounding import Fig13Result, run_fig13
+from repro.experiments.tables import table1_text
+
+__all__ = [
+    "ClusteringWorkloadResult",
+    "ExperimentSetup",
+    "Fig9Result",
+    "Fig10Result",
+    "Fig11Result",
+    "Fig12Result",
+    "Fig13Result",
+    "run_clustering_workload",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "sample_hosts",
+    "table1_text",
+]

@@ -1,0 +1,63 @@
+"""Regenerate every figure and table from the command line.
+
+Usage::
+
+    python -m repro.experiments [--users N] [--requests S] [--only figN]
+
+Writes nothing; prints each regenerated series in the order the paper
+presents them.  Scale defaults follow the ``REPRO_USERS`` /
+``REPRO_REQUESTS`` environment variables (Table I values if unset) —
+expect a full-scale run to take tens of minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.fig9_degree import run_fig9
+from repro.experiments.fig10_total_cost import run_fig10
+from repro.experiments.fig11_k import run_fig11
+from repro.experiments.fig12_requests import run_fig12
+from repro.experiments.fig13_bounding import run_fig13
+from repro.experiments.harness import ExperimentSetup
+from repro.experiments.tables import table1_text
+
+RUNNERS = {
+    "table1": lambda setup, requests: table1_text(setup.base_config),
+    "fig9": lambda setup, requests: run_fig9(setup, requests=requests).format(),
+    "fig10": lambda setup, requests: run_fig10(setup, requests=requests).format(),
+    "fig11": lambda setup, requests: run_fig11(setup, requests=requests).format(),
+    "fig12": lambda setup, requests: run_fig12(setup).format(),
+    "fig13": lambda setup, requests: run_fig13(setup, requests=requests).format(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--users", type=int, default=None,
+                        help="population size (default: REPRO_USERS or 104770)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="workload size S (default: REPRO_REQUESTS or 2000)")
+    parser.add_argument("--only", choices=sorted(RUNNERS), default=None,
+                        help="regenerate a single experiment")
+    args = parser.parse_args(argv)
+
+    setup = ExperimentSetup.paper_default(users=args.users, requests=args.requests)
+    requests = args.requests
+    names = [args.only] if args.only else list(RUNNERS)
+    for name in names:
+        started = time.perf_counter()
+        print(f"=== {name} " + "=" * (40 - len(name)))
+        print(RUNNERS[name](setup, requests))
+        print(f"[{name}: {time.perf_counter() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Figure 10: overall communication cost vs POI content size.
+
+At the default configuration, combine each algorithm's clustering cost
+with the service-request cost of its cloaked regions (a range query on
+the same POI dataset) while sweeping the ratio of POI content size to
+clustering message size from 0 to 20:
+
+    total(ratio) = avg clustering messages + ratio * avg POIs in region
+
+Expected shape (paper Fig. 10): t-Conn's lines cross below kNN's once the
+ratio reaches ~10 — its bigger clustering effort buys smaller regions,
+which pay off as soon as POI content dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.experiments.harness import (
+    ALGORITHMS,
+    ClusteringWorkloadResult,
+    ExperimentSetup,
+    default_request_count,
+    run_clustering_workload,
+)
+from repro.experiments.workloads import sample_hosts
+from repro.server.poidb import POIDatabase
+
+PAPER_RATIOS: tuple[float, ...] = (0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig10Result:
+    """Total-cost curves over the POI-size sweep."""
+
+    ratios: tuple[float, ...]
+    workloads: dict[str, ClusteringWorkloadResult]
+
+    def total_cost_series(self) -> dict[str, list[float]]:
+        """Per-algorithm total-cost curves over the sweep."""
+        return {
+            algorithm: [
+                workload.avg_comm_cost + ratio * workload.avg_pois
+                for ratio in self.ratios
+            ]
+            for algorithm, workload in self.workloads.items()
+        }
+
+    def crossover_ratio(self, better: str = "t-conn", worse: str = "knn") -> float:
+        """The smallest swept ratio at which ``better`` undercuts ``worse``."""
+        series = self.total_cost_series()
+        for ratio, b, w in zip(self.ratios, series[better], series[worse]):
+            if b < w:
+                return ratio
+        return float("inf")
+
+    def format(self) -> str:
+        """Render the result as the benchmark-report text."""
+        return format_series(
+            "poi/msg ratio",
+            list(self.ratios),
+            self.total_cost_series(),
+            title="Fig 10: total communication cost vs POI data size",
+        )
+
+
+def run_fig10(
+    setup: Optional[ExperimentSetup] = None,
+    ratios: Sequence[float] = PAPER_RATIOS,
+    requests: Optional[int] = None,
+    seed: int = 17,
+) -> Fig10Result:
+    """Regenerate Figure 10's series (default M, default k)."""
+    setup = setup if setup is not None else ExperimentSetup.paper_default()
+    request_count = requests if requests is not None else default_request_count()
+    config = setup.base_config.with_overrides(request_count=request_count)
+    graph = setup.graph(config)
+    db = POIDatabase(setup.dataset)
+    hosts = sample_hosts(graph, config.k, request_count, seed=seed)
+    workloads = {
+        algorithm: run_clustering_workload(
+            setup, algorithm, config, hosts, graph=graph, db=db
+        )
+        for algorithm in ALGORITHMS
+    }
+    return Fig10Result(ratios=tuple(ratios), workloads=workloads)
+
+
+if __name__ == "__main__":
+    print(run_fig10().format())

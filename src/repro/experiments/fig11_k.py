@@ -1,0 +1,95 @@
+"""Figure 11: performance under various anonymity requirements k.
+
+Sweep k over {5, 10, 20, 30, 40, 50} at default density and measure the
+same two metrics as Figure 9.
+
+Expected shapes (paper Figs. 11a/11b): centralized t-Conn's cost is flat
+(it never depends on k); distributed t-Conn grows slowly and saturates
+around k = 30; kNN's cost is linear in k.  Cloaked size is linear in k
+for t-Conn while kNN deteriorates from ~2x to ~4x t-Conn's size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.experiments.harness import (
+    ALGORITHMS,
+    ClusteringWorkloadResult,
+    ExperimentSetup,
+    default_request_count,
+    run_clustering_workload,
+)
+from repro.experiments.workloads import sample_hosts
+
+PAPER_K_VALUES: tuple[int, ...] = (5, 10, 20, 30, 40, 50)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig11Result:
+    """Series for both panels of Figure 11."""
+
+    k_values: tuple[int, ...]
+    workloads: dict[str, tuple[ClusteringWorkloadResult, ...]]
+
+    def comm_cost_series(self) -> dict[str, list[float]]:
+        """Per-algorithm average communication costs."""
+        return {
+            algorithm: [w.avg_comm_cost for w in runs]
+            for algorithm, runs in self.workloads.items()
+        }
+
+    def cloaked_size_series(self) -> dict[str, list[float]]:
+        """Per-algorithm average cloaked-region areas."""
+        return {
+            algorithm: [w.avg_cloaked_area for w in runs]
+            for algorithm, runs in self.workloads.items()
+        }
+
+    def format(self) -> str:
+        """Render the result as the benchmark-report text."""
+        panel_a = format_series(
+            "k",
+            list(self.k_values),
+            self.comm_cost_series(),
+            title="Fig 11(a): avg communication cost vs k",
+        )
+        panel_b = format_series(
+            "k",
+            list(self.k_values),
+            self.cloaked_size_series(),
+            title="Fig 11(b): avg cloaked region size vs k",
+        )
+        return f"{panel_a}\n\n{panel_b}"
+
+
+def run_fig11(
+    setup: Optional[ExperimentSetup] = None,
+    k_values: Sequence[int] = PAPER_K_VALUES,
+    requests: Optional[int] = None,
+    seed: int = 17,
+) -> Fig11Result:
+    """Regenerate Figure 11's series (default M)."""
+    setup = setup if setup is not None else ExperimentSetup.paper_default()
+    request_count = requests if requests is not None else default_request_count()
+    workloads: dict[str, list[ClusteringWorkloadResult]] = {
+        algorithm: [] for algorithm in ALGORITHMS
+    }
+    for k in k_values:
+        config = setup.base_config.with_overrides(k=k, request_count=request_count)
+        graph = setup.graph(config)
+        hosts = sample_hosts(graph, k, request_count, seed=seed)
+        for algorithm in ALGORITHMS:
+            workloads[algorithm].append(
+                run_clustering_workload(setup, algorithm, config, hosts, graph=graph)
+            )
+    return Fig11Result(
+        k_values=tuple(k_values),
+        workloads={alg: tuple(runs) for alg, runs in workloads.items()},
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig11().format())

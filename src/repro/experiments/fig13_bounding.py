@@ -1,0 +1,177 @@
+"""Figure 13: the bounding algorithms under various k.
+
+For each k in {5, 10, 20, 30, 40, 50}: form clusters with distributed
+t-Conn for a workload of hosts, then bound every distinct cluster with
+each progressive policy (linear, exponential, secure) and with the OPT
+baseline, measuring per bounding run:
+
+* (a) bounding cost — verification messages;
+* (b) request cost — POIs inside the final region, reported as a ratio
+  to OPT's (the paper normalises panel b this way);
+* (c) total cost — bounding messages * Cb + POIs * Cr;
+* (d) CPU time of the bounding computation, in milliseconds.
+
+Expected shapes (paper Fig. 13): linear has the highest bounding cost and
+the best request cost; exponential the opposite; secure balances the two,
+achieving the lowest total of the three and staying close to OPT; all
+CPU times are far below a millisecond per run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
+from repro.bounding.presets import paper_policy
+from repro.experiments.harness import (
+    ExperimentSetup,
+    default_request_count,
+    run_clustering_workload,
+)
+from repro.experiments.workloads import sample_hosts
+from repro.geometry.rect import Rect
+from repro.server.poidb import POIDatabase
+
+PAPER_K_VALUES: tuple[int, ...] = (5, 10, 20, 30, 40, 50)
+POLICIES: tuple[str, ...] = ("linear", "exponential", "secure", "optimal")
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingCell:
+    """Averages for one (policy, k) cell of Figure 13."""
+
+    policy: str
+    k: int
+    runs: int
+    avg_bounding_cost: float
+    avg_request_pois: float
+    avg_request_ratio: float  # vs OPT, the paper's panel (b)
+    avg_total_cost: float
+    avg_cpu_ms: float
+
+
+@dataclass(frozen=True, slots=True)
+class Fig13Result:
+    """All four panels of Figure 13."""
+
+    k_values: tuple[int, ...]
+    cells: dict[str, tuple[BoundingCell, ...]]  # policy -> per-k cells
+
+    def _series(self, attribute: str) -> dict[str, list[float]]:
+        return {
+            policy: [getattr(cell, attribute) for cell in cells]
+            for policy, cells in self.cells.items()
+        }
+
+    def format(self) -> str:
+        """Render the result as the benchmark-report text."""
+        panels = [
+            ("Fig 13(a): avg bounding cost vs k", "avg_bounding_cost"),
+            ("Fig 13(b): avg request cost (ratio to optimal) vs k",
+             "avg_request_ratio"),
+            ("Fig 13(c): avg total cost vs k", "avg_total_cost"),
+            ("Fig 13(d): avg CPU time (ms) vs k", "avg_cpu_ms"),
+        ]
+        return "\n\n".join(
+            format_series("k", list(self.k_values), self._series(attr), title=title)
+            for title, attr in panels
+        )
+
+
+def run_fig13(
+    setup: Optional[ExperimentSetup] = None,
+    k_values: Sequence[int] = PAPER_K_VALUES,
+    requests: Optional[int] = None,
+    seed: int = 17,
+    policies: Sequence[str] = POLICIES,
+) -> Fig13Result:
+    """Regenerate Figure 13's series."""
+    setup = setup if setup is not None else ExperimentSetup.paper_default()
+    request_count = requests if requests is not None else default_request_count()
+    db = POIDatabase(setup.dataset)
+    cells: dict[str, list[BoundingCell]] = {policy: [] for policy in policies}
+    for k in k_values:
+        config = setup.base_config.with_overrides(k=k, request_count=request_count)
+        graph = setup.graph(config)
+        hosts = sample_hosts(graph, k, request_count, seed=seed)
+        clustering = run_clustering_workload(
+            setup, "t-conn", config, hosts, graph=graph
+        )
+        clusters = clustering.clusters
+        opt_pois = [
+            db.count_in_region(
+                optimal_bounding_box([setup.dataset[i] for i in members])
+            )
+            for members in clusters
+        ]
+        for policy in policies:
+            cells[policy].append(
+                _bound_all(setup, db, config, clusters, opt_pois, policy, k)
+            )
+    return Fig13Result(
+        k_values=tuple(k_values),
+        cells={policy: tuple(per_k) for policy, per_k in cells.items()},
+    )
+
+
+def _bound_all(
+    setup: ExperimentSetup,
+    db: POIDatabase,
+    config,
+    clusters: Sequence[frozenset[int]],
+    opt_pois: Sequence[int],
+    policy: str,
+    k: int,
+) -> BoundingCell:
+    bounding_costs: list[float] = []
+    pois: list[float] = []
+    ratios: list[float] = []
+    totals: list[float] = []
+    cpu: list[float] = []
+    for members, opt_count in zip(clusters, opt_pois):
+        ordered = sorted(members)
+        points = [setup.dataset[i] for i in ordered]
+        started = time.perf_counter()
+        if policy == "optimal":
+            region = optimal_bounding_box(points)
+            messages = len(points)
+        else:
+            size = len(points)
+            outcome = secure_bounding_box(
+                points,
+                host_index=0,
+                policy_factory=lambda: paper_policy(policy, size, config),
+                clip_to=Rect.unit_square(),
+            )
+            region, messages = outcome.region, outcome.messages
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        poi_count = db.count_in_region(region)
+        bounding_costs.append(messages)
+        pois.append(poi_count)
+        ratios.append(poi_count / opt_count if opt_count else float("nan"))
+        totals.append(
+            messages * config.bounding_cost + poi_count * config.request_cost
+        )
+        cpu.append(elapsed_ms)
+    runs = len(bounding_costs)
+
+    def avg(series: list[float]) -> float:
+        return sum(series) / runs if runs else float("nan")
+
+    return BoundingCell(
+        policy=policy,
+        k=k,
+        runs=runs,
+        avg_bounding_cost=avg(bounding_costs),
+        avg_request_pois=avg(pois),
+        avg_request_ratio=avg(ratios),
+        avg_total_cost=avg(totals),
+        avg_cpu_ms=avg(cpu),
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig13().format())

@@ -1,0 +1,104 @@
+"""Figure 9: performance under various average WPG degrees.
+
+Sweep M (the device connection cap) over {4, 8, 16, 32, 64}; for each M,
+serve the same S cloaking requests with distributed t-Conn, kNN, and
+centralized t-Conn, and record (a) the average communication cost and
+(b) the average cloaked-region size.
+
+Expected shapes (paper Figs. 9a/9b): kNN cheapest and flat in degree;
+centralized t-Conn the cost upper bound (~|D|/S); distributed t-Conn in
+between, growing moderately with density.  Both t-Conn variants' region
+sizes are ~1/3 of kNN's and flat in degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.experiments.harness import (
+    ALGORITHMS,
+    ClusteringWorkloadResult,
+    ExperimentSetup,
+    default_request_count,
+    run_clustering_workload,
+)
+from repro.experiments.workloads import sample_hosts
+from repro.graph.metrics import average_degree
+
+PAPER_M_VALUES: tuple[int, ...] = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True, slots=True)
+class Fig9Result:
+    """Series for both panels of Figure 9."""
+
+    m_values: tuple[int, ...]
+    avg_degrees: tuple[float, ...]
+    workloads: dict[str, tuple[ClusteringWorkloadResult, ...]]
+
+    def comm_cost_series(self) -> dict[str, list[float]]:
+        """Per-algorithm average communication costs."""
+        return {
+            algorithm: [w.avg_comm_cost for w in runs]
+            for algorithm, runs in self.workloads.items()
+        }
+
+    def cloaked_size_series(self) -> dict[str, list[float]]:
+        """Per-algorithm average cloaked-region areas."""
+        return {
+            algorithm: [w.avg_cloaked_area for w in runs]
+            for algorithm, runs in self.workloads.items()
+        }
+
+    def format(self) -> str:
+        """Render the result as the benchmark-report text."""
+        panel_a = format_series(
+            "avg_degree",
+            [round(d, 2) for d in self.avg_degrees],
+            self.comm_cost_series(),
+            title="Fig 9(a): avg communication cost vs avg degree",
+        )
+        panel_b = format_series(
+            "avg_degree",
+            [round(d, 2) for d in self.avg_degrees],
+            self.cloaked_size_series(),
+            title="Fig 9(b): avg cloaked region size vs avg degree",
+        )
+        return f"{panel_a}\n\n{panel_b}"
+
+
+def run_fig9(
+    setup: Optional[ExperimentSetup] = None,
+    m_values: Sequence[int] = PAPER_M_VALUES,
+    requests: Optional[int] = None,
+    seed: int = 17,
+) -> Fig9Result:
+    """Regenerate Figure 9's series."""
+    setup = setup if setup is not None else ExperimentSetup.paper_default()
+    request_count = requests if requests is not None else default_request_count()
+    degrees: list[float] = []
+    workloads: dict[str, list[ClusteringWorkloadResult]] = {
+        algorithm: [] for algorithm in ALGORITHMS
+    }
+    for m in m_values:
+        config = setup.base_config.with_overrides(
+            max_peers=m, request_count=request_count
+        )
+        graph = setup.graph(config)
+        degrees.append(average_degree(graph))
+        hosts = sample_hosts(graph, config.k, request_count, seed=seed)
+        for algorithm in ALGORITHMS:
+            workloads[algorithm].append(
+                run_clustering_workload(setup, algorithm, config, hosts, graph=graph)
+            )
+    return Fig9Result(
+        m_values=tuple(m_values),
+        avg_degrees=tuple(degrees),
+        workloads={alg: tuple(runs) for alg, runs in workloads.items()},
+    )
+
+
+if __name__ == "__main__":
+    print(run_fig9().format())

@@ -1,0 +1,34 @@
+"""Table I: the simulation parameter settings, reproduced from config."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.config import SimulationConfig
+
+
+def table1_rows(config: SimulationConfig) -> list[list[object]]:
+    """Table I's rows, taken from a live configuration object."""
+    return [
+        ["# of users", "", config.user_count],
+        ["distance threshold", "delta", config.delta],
+        ["max # of connected peers", "M", config.max_peers],
+        ["k-anonymity", "k", config.k],
+        ["bounding cost", "Cb", config.bounding_cost],
+        ["service request cost", "Cr", config.request_cost],
+        ["uniform distribution bound", "U", "N/%d" % config.user_count],
+        ["initial bound", "X", "N/%d" % config.user_count],
+        ["# of user requests", "S", config.request_count],
+    ]
+
+
+def table1_text(config: SimulationConfig | None = None) -> str:
+    """Table I rendered as text."""
+    config = config if config is not None else SimulationConfig()
+    table = format_table(
+        ["Parameter", "Symbol", "Default Value"], table1_rows(config)
+    )
+    return f"Table I: simulation parameter settings\n{table}"
+
+
+if __name__ == "__main__":
+    print(table1_text())

@@ -1,0 +1,51 @@
+"""Workload generation: who requests cloaking.
+
+The paper's workload is "S (out of 104,770) users who request location
+cloaking".  A user in a WPG component with fewer than k members can never
+be k-anonymized (Fig. 5's stranded vertex), so hosts are sampled from
+*clusterable* users — the components of size >= k.  Failures that still
+occur (a late host finding its neighbourhood depleted) are counted by the
+harness rather than hidden.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.components import connected_components
+from repro.graph.wpg import WeightedProximityGraph
+
+
+def clusterable_users(graph: WeightedProximityGraph, k: int) -> list[int]:
+    """Users whose connected component holds at least k members."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    eligible: list[int] = []
+    for component in connected_components(graph):
+        if len(component) >= k:
+            eligible.extend(component)
+    eligible.sort()
+    return eligible
+
+
+def sample_hosts(
+    graph: WeightedProximityGraph,
+    k: int,
+    count: int,
+    seed: int = 0,
+) -> list[int]:
+    """``count`` distinct requesting users, uniform over clusterable users.
+
+    Raises when the population cannot supply that many distinct hosts —
+    a configuration problem the caller should see, not silently shrink.
+    """
+    eligible = clusterable_users(graph, k)
+    if count > len(eligible):
+        raise ConfigurationError(
+            f"asked for {count} hosts but only {len(eligible)} users are "
+            f"in components of size >= {k}"
+        )
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(len(eligible), size=count, replace=False)
+    return [eligible[int(i)] for i in picks]

@@ -1,0 +1,23 @@
+"""Planar geometry primitives: points, rectangles and distance metrics."""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.distance import (
+    chebyshev,
+    diameter,
+    euclidean,
+    euclidean_squared,
+    manhattan,
+    pairwise_euclidean,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "chebyshev",
+    "diameter",
+    "euclidean",
+    "euclidean_squared",
+    "manhattan",
+    "pairwise_euclidean",
+]

@@ -1,0 +1,52 @@
+"""Distance metrics over points and coordinate arrays."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean (L2) distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def euclidean_squared(a: Point, b: Point) -> float:
+    """Squared Euclidean distance; monotone in :func:`euclidean` but cheaper."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def manhattan(a: Point, b: Point) -> float:
+    """Manhattan (L1) distance between two points."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def chebyshev(a: Point, b: Point) -> float:
+    """Chebyshev (L-infinity) distance between two points."""
+    return max(abs(a.x - b.x), abs(a.y - b.y))
+
+
+def pairwise_euclidean(points: Sequence[Point]) -> np.ndarray:
+    """The full symmetric distance matrix of ``points``.
+
+    Intended for small point sets (test fixtures, per-cluster diameters);
+    for whole datasets use a spatial index instead.
+    """
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
+def diameter(points: Sequence[Point]) -> float:
+    """The maximum pairwise distance of ``points`` (0 for fewer than 2)."""
+    if len(points) < 2:
+        return 0.0
+    return float(pairwise_euclidean(points).max())

@@ -1,0 +1,60 @@
+"""Immutable planar point."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane.
+
+    Points are immutable and hashable so they can key dictionaries and live
+    in sets (the clustering registry maps users to points freely).
+
+    >>> Point(0.25, 0.75).distance_to(Point(0.25, 0.25))
+    0.5
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (cheaper; monotone in distance)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The midpoint of the segment to ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def coordinate(self, axis: int) -> float:
+        """The coordinate along ``axis`` (0 for x, 1 for y)."""
+        if axis == 0:
+            return self.x
+        if axis == 1:
+            return self.y
+        raise ValueError(f"axis must be 0 or 1, got {axis!r}")
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)

@@ -1,0 +1,169 @@
+"""Axis-aligned rectangles (the shape of every cloaked region)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``.
+
+    Cloaked regions, grid cells and range queries are all rectangles.
+    Degenerate rectangles (zero width or height) are legal: a cluster whose
+    users are collinear produces one.
+
+    >>> Rect(0.0, 1.0, 0.0, 0.5).area
+    0.5
+    """
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ValueError(
+                f"inverted rectangle: [{self.x_min}, {self.x_max}] x "
+                f"[{self.y_min}, {self.y_max}]"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """The tightest rectangle enclosing ``points`` (must be non-empty)."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for p in points:
+            xs.append(p.x)
+            ys.append(p.y)
+        if not xs:
+            raise ValueError("cannot bound an empty point set")
+        return cls(min(xs), max(xs), min(ys), max(ys))
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """A ``width x height`` rectangle centred on ``center``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(
+            center.x - width / 2.0,
+            center.x + width / 2.0,
+            center.y - height / 2.0,
+            center.y + height / 2.0,
+        )
+
+    @classmethod
+    def unit_square(cls) -> "Rect":
+        """The unit square ``[0, 1] x [0, 1]`` all datasets normalise into."""
+        return cls(0.0, 1.0, 0.0, 1.0)
+
+    # -- measures ----------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        """width * height."""
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        """Total boundary length."""
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        """The center point."""
+        return Point((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal (its geometric diameter)."""
+        return Point(self.x_min, self.y_min).distance_to(Point(self.x_max, self.y_max))
+
+    # -- predicates ---------------------------------------------------------
+
+    def contains(self, point: Point) -> bool:
+        """True if ``point`` lies in the closed rectangle."""
+        return (
+            self.x_min <= point.x <= self.x_max
+            and self.y_min <= point.y <= self.y_max
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.x_min <= other.x_min
+            and other.x_max <= self.x_max
+            and self.y_min <= other.y_min
+            and other.y_max <= self.y_max
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two closed rectangles share at least one point."""
+        return not (
+            other.x_min > self.x_max
+            or other.x_max < self.x_min
+            or other.y_min > self.y_max
+            or other.y_max < self.y_min
+        )
+
+    # -- combinators ---------------------------------------------------------
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both rectangles."""
+        return Rect(
+            min(self.x_min, other.x_min),
+            max(self.x_max, other.x_max),
+            min(self.y_min, other.y_min),
+            max(self.y_max, other.y_max),
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlap rectangle, or ``None`` if the rectangles are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x_min, other.x_min),
+            min(self.x_max, other.x_max),
+            max(self.y_min, other.y_min),
+            min(self.y_max, other.y_max),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """This rectangle grown by ``margin`` on every side."""
+        if margin < 0 and (2 * -margin > self.width or 2 * -margin > self.height):
+            raise ValueError("negative margin larger than the rectangle")
+        return Rect(
+            self.x_min - margin,
+            self.x_max + margin,
+            self.y_min - margin,
+            self.y_max + margin,
+        )
+
+    def clipped_to(self, other: "Rect") -> "Rect":
+        """This rectangle clipped to ``other`` (they must intersect)."""
+        clipped = self.intersection(other)
+        if clipped is None:
+            raise ValueError("rectangles do not intersect; nothing to clip to")
+        return clipped
+
+    def min_distance_to(self, point: Point) -> float:
+        """Distance from ``point`` to the rectangle (0 if inside)."""
+        dx = max(self.x_min - point.x, 0.0, point.x - self.x_max)
+        dy = max(self.y_min - point.y, 0.0, point.y - self.y_max)
+        return (dx * dx + dy * dy) ** 0.5

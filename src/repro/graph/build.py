@@ -1,0 +1,91 @@
+"""Building the WPG from a user population (Section VI's construction).
+
+The paper's recipe:
+
+1. Each user connects to peers within the distance threshold ``delta``,
+   capped at the ``M`` nearest (devices have limited resources; M controls
+   the WPG density).
+2. Each user ranks its connected peers by RSS, strongest (closest) first.
+3. The weight of edge ``(a, b)`` is the *minimum* of a's rank in b's list
+   and b's rank in a's list, making the weight symmetric ("to ensure a and
+   b are reversible").
+
+An edge therefore exists when at least one endpoint selected the other as
+one of its M nearest peers; the mutual-rank minimum is well defined either
+way because ranks are computed over the radio neighbourhood.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.errors import ConfigurationError
+from repro.graph.wpg import WeightedProximityGraph
+from repro.radio.measurement import ProximityMeter
+from repro.spatial.neighbors import NeighborFinder
+
+
+def build_wpg(
+    dataset: PointDataset,
+    delta: float,
+    max_peers: int,
+    meter: ProximityMeter | None = None,
+    finder: NeighborFinder | None = None,
+) -> WeightedProximityGraph:
+    """Construct the weighted proximity graph of ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        User positions; vertex ids are dataset indexes.
+    delta:
+        Communication range (Table I default 2e-3).
+    max_peers:
+        Device connection cap M (Table I default 10).
+    meter:
+        Proximity measurement; defaults to the ideal RSS model, i.e.
+        rankings equal distance rankings.  Pass a noisy meter for
+        robustness experiments.
+    finder:
+        Spatial index facade; built over ``dataset`` with cell size
+        ``delta`` when omitted.
+    """
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be positive, got {delta}")
+    if max_peers < 1:
+        raise ConfigurationError(f"max_peers must be >= 1, got {max_peers}")
+    if meter is None:
+        meter = ProximityMeter(dataset)
+    if finder is None:
+        finder = NeighborFinder(dataset, kind="grid", cell_size=delta)
+
+    graph = WeightedProximityGraph()
+    # Each user's connected peer list: the M nearest within delta, in the
+    # meter's closeness order (rank 1 first).
+    peer_lists: list[list[int]] = []
+    for user in range(len(dataset)):
+        graph.add_vertex(user)
+        nearby = finder.peers_in_range(user, delta)
+        ranked = meter.rank_peers(user, nearby)
+        peer_lists.append(ranked[:max_peers])
+
+    # Mutual-rank edge weights.  rank_of[u][v] = v's 1-based rank in u's list.
+    rank_of: list[dict[int, int]] = [
+        {peer: rank for rank, peer in enumerate(peers, start=1)}
+        for peers in peer_lists
+    ]
+    for user, peers in enumerate(peer_lists):
+        for rank, peer in enumerate(peers, start=1):
+            if graph.has_edge(user, peer):
+                continue
+            back_rank = rank_of[peer].get(user)
+            weight = rank if back_rank is None else min(rank, back_rank)
+            graph.add_edge(user, peer, float(weight))
+    return graph
+
+
+def build_wpg_from_config(
+    dataset: PointDataset, config: SimulationConfig
+) -> WeightedProximityGraph:
+    """Convenience wrapper: build with a config's ``delta`` and ``max_peers``."""
+    return build_wpg(dataset, delta=config.delta, max_peers=config.max_peers)

@@ -1,0 +1,137 @@
+"""Connectivity and t-reachability traversals over the WPG.
+
+Definition 4.1 of the paper: vertices ``a`` and ``b`` are *t-connected* if
+some path between them uses no edge heavier than ``t``.  Theorem 4.3 shows
+this is an equivalence relation; its classes are the connected components
+of the subgraph keeping only edges of weight <= t.  These helpers compute
+those classes without materialising the filtered graph.
+
+All traversals accept an ``exclude`` set: the distributed algorithm
+constantly asks "what is v's t-component in the *remaining* WPG", i.e. the
+graph minus already-clustered vertices.  They also accept an optional
+``spy`` callback receiving every vertex whose adjacency list the traversal
+consults — the experiment harness uses it to count involved users.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Container, Iterable, Optional
+
+from repro.errors import GraphError
+from repro.graph.wpg import WeightedProximityGraph
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def connected_component(
+    graph: WeightedProximityGraph,
+    start: int,
+    exclude: Container[int] = _EMPTY,
+    spy: Optional[Callable[[int], None]] = None,
+) -> set[int]:
+    """The connected component of ``start`` in ``graph`` minus ``exclude``."""
+    return t_component(graph, start, t=float("inf"), exclude=exclude, spy=spy)
+
+
+def t_component(
+    graph: WeightedProximityGraph,
+    start: int,
+    t: float,
+    exclude: Container[int] = _EMPTY,
+    spy: Optional[Callable[[int], None]] = None,
+    size_limit: Optional[int] = None,
+) -> set[int]:
+    """The t-connectivity equivalence class of ``start``.
+
+    BFS over edges of weight <= ``t``, never entering ``exclude``.  When
+    ``size_limit`` is given the search stops as soon as the component is
+    known to have at least that many vertices — the distributed border
+    check (Algorithm 2, line 11) only needs "size >= k", not the full
+    component.
+    """
+    if start in exclude:
+        raise GraphError(f"start vertex {start} is excluded")
+    component = {start}
+    queue: deque[int] = deque([start])
+    while queue:
+        if size_limit is not None and len(component) >= size_limit:
+            return component
+        vertex = queue.popleft()
+        if spy is not None:
+            spy(vertex)
+        # Sorted expansion keeps the visit order — and therefore the
+        # involved-user accounting under size_limit early exit —
+        # independent of the graph's internal adjacency ordering (a
+        # reloaded WPG must measure identically to a freshly built one).
+        for neighbor, weight in sorted(graph.neighbor_weights(vertex)):
+            if weight <= t and neighbor not in component and neighbor not in exclude:
+                component.add(neighbor)
+                queue.append(neighbor)
+    return component
+
+
+def t_connected(
+    graph: WeightedProximityGraph,
+    a: int,
+    b: int,
+    t: float,
+    exclude: Container[int] = _EMPTY,
+) -> bool:
+    """Definition 4.1: is there an a-b path with all weights <= t?"""
+    if a == b:
+        return True  # reflexivity: the empty path
+    component = {a}
+    queue: deque[int] = deque([a])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor, weight in graph.neighbor_weights(vertex):
+            if weight > t or neighbor in component or neighbor in exclude:
+                continue
+            if neighbor == b:
+                return True
+            component.add(neighbor)
+            queue.append(neighbor)
+    return False
+
+
+def connected_components(
+    graph: WeightedProximityGraph,
+    vertices: Optional[Iterable[int]] = None,
+    exclude: Container[int] = _EMPTY,
+) -> list[set[int]]:
+    """All connected components of ``graph`` (optionally restricted)."""
+    pool = list(vertices) if vertices is not None else list(graph.vertices())
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for vertex in pool:
+        if vertex in seen or vertex in exclude:
+            continue
+        component = connected_component(graph, vertex, exclude=exclude)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph: WeightedProximityGraph) -> bool:
+    """True if ``graph`` is non-empty and has a single component."""
+    first = next(graph.vertices(), None)
+    if first is None:
+        return False
+    return len(connected_component(graph, first)) == graph.vertex_count
+
+
+def external_border(
+    graph: WeightedProximityGraph, cluster: Container[int], members: Iterable[int]
+) -> set[int]:
+    """Theorem 4.4's external border: vertices adjacent to but outside a cluster.
+
+    ``members`` enumerates the cluster (``cluster`` may be any container
+    supporting fast membership).
+    """
+    border: set[int] = set()
+    for vertex in members:
+        for neighbor in graph.neighbors(vertex):
+            if neighbor not in cluster:
+                border.add(neighbor)
+    return border

@@ -1,0 +1,148 @@
+"""Random graph generators for tests and micro-benchmarks.
+
+Wireless topologies "tend to be clustered and small world graphs [19]
+which consist of regular graphs plus a few random edges" (Section IV);
+these generators produce exactly those families so the properties the
+paper relies on (Corollary 4.2, cluster-isolation) can be exercised away
+from full spatial datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.wpg import WeightedProximityGraph
+
+
+def random_weighted_graph(
+    vertices: int,
+    edge_probability: float,
+    max_weight: int = 10,
+    seed: int = 0,
+) -> WeightedProximityGraph:
+    """An Erdos-Renyi G(n, p) graph with integer weights in [1, max_weight]."""
+    if vertices < 1:
+        raise GraphError(f"vertices must be >= 1, got {vertices}")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = np.random.default_rng(seed)
+    graph = WeightedProximityGraph()
+    for v in range(vertices):
+        graph.add_vertex(v)
+    for u in range(vertices):
+        for v in range(u + 1, vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v, float(rng.integers(1, max_weight + 1)))
+    return graph
+
+
+def random_regular_graph(
+    vertices: int, degree: int, max_weight: int = 10, seed: int = 0
+) -> WeightedProximityGraph:
+    """A random simple d-regular graph.
+
+    Construction: a deterministic circulant d-regular graph, randomised by
+    repeated double edge swaps (each swap preserves every degree and is
+    rejected if it would create a loop or a parallel edge).  Unlike the
+    classic pairing model this never fails, even in the dense regime where
+    almost no pairing is simple.  ``vertices * degree`` must be even.
+    """
+    if degree < 0 or degree >= vertices:
+        raise GraphError(f"degree must be in [0, {vertices - 1}], got {degree}")
+    if (vertices * degree) % 2 != 0:
+        raise GraphError("vertices * degree must be even")
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for offset in range(1, degree // 2 + 1):
+        for v in range(vertices):
+            edges.add(tuple(sorted((v, (v + offset) % vertices))))
+    if degree % 2:
+        # degree odd forces vertices even: add the perfect matching of
+        # antipodal pairs.
+        for v in range(vertices // 2):
+            edges.add(tuple(sorted((v, v + vertices // 2))))
+
+    edge_list = sorted(edges)
+    for _swap in range(10 * len(edge_list)):
+        i, j = rng.integers(0, len(edge_list), size=2)
+        (a, b), (c, d) = edge_list[int(i)], edge_list[int(j)]
+        if len({a, b, c, d}) < 4:
+            continue
+        if rng.random() < 0.5:
+            c, d = d, c
+        new_one = tuple(sorted((a, c)))
+        new_two = tuple(sorted((b, d)))
+        if new_one in edges or new_two in edges:
+            continue
+        edges.remove((a, b) if a < b else (b, a))
+        edges.remove((c, d) if c < d else (d, c))
+        edges.add(new_one)
+        edges.add(new_two)
+        edge_list[int(i)] = new_one
+        edge_list[int(j)] = new_two
+
+    graph = WeightedProximityGraph()
+    for v in range(vertices):
+        graph.add_vertex(v)
+    for a, b in sorted(edges):
+        graph.add_edge(a, b, float(rng.integers(1, max_weight + 1)))
+    return graph
+
+
+def small_world_graph(
+    vertices: int,
+    base_degree: int = 4,
+    rewire_probability: float = 0.1,
+    max_weight: int = 10,
+    seed: int = 0,
+) -> WeightedProximityGraph:
+    """A Watts-Strogatz-style ring lattice with random rewiring.
+
+    Start from a ring where each vertex connects to its ``base_degree``
+    nearest ring neighbours, then rewire each edge's far endpoint with
+    probability ``rewire_probability``.
+    """
+    if base_degree % 2 != 0 or base_degree < 2:
+        raise GraphError(f"base_degree must be even and >= 2, got {base_degree}")
+    if vertices <= base_degree:
+        raise GraphError(
+            f"need vertices > base_degree, got {vertices} <= {base_degree}"
+        )
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    half = base_degree // 2
+    for u in range(vertices):
+        for offset in range(1, half + 1):
+            v = (u + offset) % vertices
+            if rng.random() < rewire_probability:
+                # Rewire to a uniform non-neighbor, avoiding self-loops.
+                for _retry in range(20):
+                    w = int(rng.integers(0, vertices))
+                    candidate = tuple(sorted((u, w)))
+                    if w != u and candidate not in edges:
+                        edges.add(candidate)
+                        break
+                else:
+                    edges.add(tuple(sorted((u, v))))
+            else:
+                edges.add(tuple(sorted((u, v))))
+    graph = WeightedProximityGraph()
+    for v in range(vertices):
+        graph.add_vertex(v)
+    for a, b in sorted(edges):
+        graph.add_edge(a, b, float(rng.integers(1, max_weight + 1)))
+    return graph
+
+
+def path_graph(weights: list[float]) -> WeightedProximityGraph:
+    """A path ``0 - 1 - ... - n`` with the given consecutive edge weights."""
+    graph = WeightedProximityGraph()
+    graph.add_vertex(0)
+    for i, weight in enumerate(weights):
+        graph.add_edge(i, i + 1, weight)
+    return graph

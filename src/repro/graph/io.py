@@ -1,0 +1,59 @@
+"""WPG persistence.
+
+Building the full-scale WPG takes seconds to minutes; persisting it lets
+a deployment (or a benchmark matrix) build once and reload instantly.
+The format is a plain CSV of ``u,v,weight`` rows plus a leading
+``# vertices: ...`` comment listing isolated vertices, so files are
+greppable and diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graph.wpg import WeightedProximityGraph
+
+
+def save_wpg(graph: WeightedProximityGraph, path: str | Path) -> None:
+    """Write ``graph`` as an edge-list CSV (isolated vertices in a header)."""
+    target = Path(path)
+    isolated = sorted(v for v in graph.vertices() if graph.degree(v) == 0)
+    with target.open("w", newline="") as handle:
+        handle.write("# wpg v1\n")
+        handle.write("# isolated: " + " ".join(map(str, isolated)) + "\n")
+        writer = csv.writer(handle)
+        writer.writerow(["u", "v", "weight"])
+        for edge in sorted(graph.edges(), key=lambda e: e.key()):
+            writer.writerow([edge.u, edge.v, repr(edge.weight)])
+
+
+def load_wpg(path: str | Path) -> WeightedProximityGraph:
+    """Read a graph written by :func:`save_wpg`."""
+    source = Path(path)
+    if not source.exists():
+        raise GraphError(f"graph file not found: {source}")
+    graph = WeightedProximityGraph()
+    with source.open(newline="") as handle:
+        first = handle.readline()
+        if not first.startswith("# wpg"):
+            raise GraphError(f"{source}: not a WPG file (bad magic {first!r})")
+        isolated_line = handle.readline()
+        if not isolated_line.startswith("# isolated:"):
+            raise GraphError(f"{source}: missing isolated-vertices header")
+        for token in isolated_line.split(":", 1)[1].split():
+            graph.add_vertex(int(token))
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["u", "v", "weight"]:
+            raise GraphError(f"{source}: malformed column header {header!r}")
+        for row_number, row in enumerate(reader, start=4):
+            try:
+                u, v, weight = int(row[0]), int(row[1]), float(row[2])
+            except (ValueError, IndexError) as exc:
+                raise GraphError(
+                    f"{source}:{row_number}: malformed edge row {row!r}"
+                ) from exc
+            graph.add_edge(u, v, weight)
+    return graph

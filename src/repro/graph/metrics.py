@@ -1,0 +1,107 @@
+"""Graph measurements: degrees, MEW, diameters, and Corollary 4.2's bound.
+
+The paper substitutes the cluster's *maximum edge weight* (MEW) for its
+diameter because the diameter is "complex and costly to derive in the
+clustering process"; Corollary 4.2 justifies this for (near-)regular
+graphs by bounding the weighted diameter by
+``w * (1 + ceil(log_{d-1}((2 + eps) * d * k * log k)))``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Optional
+
+from repro.errors import GraphError
+from repro.graph.wpg import WeightedProximityGraph
+
+
+def average_degree(graph: WeightedProximityGraph) -> float:
+    """Mean vertex degree (0 for an empty graph)."""
+    if graph.vertex_count == 0:
+        return 0.0
+    return 2.0 * graph.edge_count / graph.vertex_count
+
+
+def max_edge_weight(
+    graph: WeightedProximityGraph, vertices: Optional[Iterable[int]] = None
+) -> float:
+    """The MEW of the graph, or of the induced subgraph on ``vertices``.
+
+    Returns 0 for an edgeless (sub)graph — an isolated vertex is trivially
+    0-connected to itself.
+    """
+    if vertices is None:
+        return max((e.weight for e in graph.edges()), default=0.0)
+    keep = set(vertices)
+    best = 0.0
+    for u in keep:
+        for v, weight in graph.neighbor_weights(u):
+            if v in keep and weight > best:
+                best = weight
+    return best
+
+
+def shortest_path_lengths(
+    graph: WeightedProximityGraph, source: int
+) -> dict[int, float]:
+    """Dijkstra distances from ``source`` (weights must be non-negative)."""
+    if source not in graph:
+        raise GraphError(f"unknown vertex {source}")
+    dist: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, vertex = heapq.heappop(heap)
+        if d > dist.get(vertex, math.inf):
+            continue
+        for neighbor, weight in graph.neighbor_weights(vertex):
+            candidate = d + weight
+            if candidate < dist.get(neighbor, math.inf):
+                dist[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist
+
+
+def graph_diameter(
+    graph: WeightedProximityGraph, vertices: Optional[Iterable[int]] = None
+) -> float:
+    """The weighted diameter: max over pairs of shortest-path length.
+
+    Runs Dijkstra from every vertex, so reserve it for clusters and test
+    graphs.  Returns ``inf`` for a disconnected (sub)graph and 0 for a
+    single vertex.
+    """
+    target = graph if vertices is None else graph.subgraph(vertices)
+    ids = list(target.vertices())
+    if not ids:
+        raise GraphError("diameter of an empty graph is undefined")
+    worst = 0.0
+    for source in ids:
+        dist = shortest_path_lengths(target, source)
+        if len(dist) < len(ids):
+            return math.inf
+        worst = max(worst, max(dist.values()))
+    return worst
+
+
+def regular_graph_diameter_bound(
+    k: int, degree: int, max_weight: float, epsilon: float = 0.01
+) -> float:
+    """Corollary 4.2's diameter bound for a k-vertex, d-regular graph.
+
+    ``w * (1 + ceil(log_{d-1}((2 + eps) * d * k * log k)))``.  Requires
+    ``degree >= 3`` (the underlying random-regular-graph result [20] needs
+    ``d - 1 >= 2`` for the logarithm base) and ``k >= 2``.
+    """
+    if k < 2:
+        raise GraphError(f"bound needs k >= 2, got {k}")
+    if degree < 3:
+        raise GraphError(f"bound needs degree >= 3, got {degree}")
+    if epsilon <= 0:
+        raise GraphError(f"epsilon must be positive, got {epsilon}")
+    if max_weight < 0:
+        raise GraphError(f"max_weight must be non-negative, got {max_weight}")
+    inner = (2.0 + epsilon) * degree * k * math.log(k)
+    hops = 1 + math.ceil(math.log(inner, degree - 1))
+    return max_weight * hops

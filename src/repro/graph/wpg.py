@@ -1,0 +1,201 @@
+"""The weighted proximity graph (Section IV).
+
+Vertices are users; an edge ``(u, v)`` records that the two devices are in
+radio proximity, weighted by their *relative distance* — in the paper's
+experiments, the mutual RSS rank.  The graph is undirected, simple, and
+never stores coordinates: the whole point of the paper is that clustering
+operates on proximity alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """An undirected weighted edge; ``u < v`` is normalised at creation."""
+
+    u: int
+    v: int
+    weight: float
+
+    @staticmethod
+    def make(u: int, v: int, weight: float) -> "Edge":
+        """Create an edge with endpoints normalised to ``u < v``."""
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u}")
+        if u > v:
+            u, v = v, u
+        return Edge(u, v, weight)
+
+    def other(self, vertex: int) -> int:
+        """The endpoint that is not ``vertex``."""
+        if vertex == self.u:
+            return self.v
+        if vertex == self.v:
+            return self.u
+        raise GraphError(f"vertex {vertex} is not an endpoint of {self}")
+
+    def key(self) -> tuple[int, int]:
+        """The canonical ``(min, max)`` endpoint pair."""
+        return (self.u, self.v)
+
+
+class WeightedProximityGraph:
+    """An undirected weighted simple graph with integer vertex ids.
+
+    Mutation is limited to adding vertices/edges and removing edges; the
+    clustering algorithms never mutate a shared graph — they work on
+    restricted *views* (see :meth:`subgraph` and the ``exclude`` parameters
+    of the traversal helpers in :mod:`repro.graph.components`).
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: dict[int, dict[int, float]] = {}
+        self._edge_count = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int, float]],
+        vertices: Iterable[int] = (),
+    ) -> "WeightedProximityGraph":
+        """Build a graph from ``(u, v, weight)`` triples plus extra vertices."""
+        graph = cls()
+        for vertex in vertices:
+            graph.add_vertex(vertex)
+        for u, v, weight in edges:
+            graph.add_edge(u, v, weight)
+        return graph
+
+    def add_vertex(self, vertex: int) -> None:
+        """Add an isolated vertex (no-op if it already exists)."""
+        self._adjacency.setdefault(vertex, {})
+
+    def add_edge(self, u: int, v: int, weight: float) -> None:
+        """Add an undirected edge, creating endpoints as needed.
+
+        Re-adding an existing edge with a different weight is an error —
+        proximity is symmetric and "agreed by both u and v" (Section IV).
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u}")
+        existing = self._adjacency.get(u, {}).get(v)
+        if existing is not None:
+            if existing != weight:
+                raise GraphError(
+                    f"edge ({u}, {v}) already has weight {existing}, got {weight}"
+                )
+            return
+        self._adjacency.setdefault(u, {})[v] = weight
+        self._adjacency.setdefault(v, {})[u] = weight
+        self._edge_count += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``(u, v)``; missing edges raise :class:`GraphError`."""
+        try:
+            del self._adjacency[u][v]
+            del self._adjacency[v][u]
+        except KeyError as exc:
+            raise GraphError(f"no edge ({u}, {v})") from exc
+        self._edge_count -= 1
+
+    # -- inspection -------------------------------------------------------------
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges."""
+        return self._edge_count
+
+    def vertices(self) -> Iterator[int]:
+        """Iterate all vertex ids."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        """All edges, each reported once with ``u < v``."""
+        for u, neighbors in self._adjacency.items():
+            for v, weight in neighbors.items():
+                if u < v:
+                    yield Edge(u, v, weight)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the edge ``(u, v)`` exists."""
+        return v in self._adjacency.get(u, {})
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``; missing edges raise :class:`GraphError`."""
+        try:
+            return self._adjacency[u][v]
+        except KeyError as exc:
+            raise GraphError(f"no edge ({u}, {v})") from exc
+
+    def neighbors(self, vertex: int) -> Iterator[int]:
+        """Neighbors of ``vertex``; unknown vertices raise :class:`GraphError`."""
+        try:
+            return iter(self._adjacency[vertex])
+        except KeyError as exc:
+            raise GraphError(f"unknown vertex {vertex}") from exc
+
+    def neighbor_weights(self, vertex: int) -> Iterator[tuple[int, float]]:
+        """``(neighbor, weight)`` pairs for ``vertex``."""
+        try:
+            return iter(self._adjacency[vertex].items())
+        except KeyError as exc:
+            raise GraphError(f"unknown vertex {vertex}") from exc
+
+    def degree(self, vertex: int) -> int:
+        """Number of neighbors of ``vertex``."""
+        try:
+            return len(self._adjacency[vertex])
+        except KeyError as exc:
+            raise GraphError(f"unknown vertex {vertex}") from exc
+
+    def adjacency_message(self, vertex: int) -> dict[int, float]:
+        """The single message a user sends when involved in clustering.
+
+        Section VI: "only a single message containing the adjacent vertices
+        as well as the edge weights is sent to the host vertex".  The copy
+        keeps callers from mutating graph internals.
+        """
+        return dict(self._adjacency.get(vertex, {}))
+
+    # -- derived graphs ---------------------------------------------------------
+
+    def subgraph(self, vertices: Iterable[int]) -> "WeightedProximityGraph":
+        """The induced subgraph on ``vertices``."""
+        keep = set(vertices)
+        unknown = keep - self._adjacency.keys()
+        if unknown:
+            raise GraphError(f"unknown vertices: {sorted(unknown)[:5]}")
+        sub = WeightedProximityGraph()
+        for vertex in keep:
+            sub.add_vertex(vertex)
+        for u in keep:
+            for v, weight in self._adjacency[u].items():
+                if v in keep and u < v:
+                    sub.add_edge(u, v, weight)
+        return sub
+
+    def copy(self) -> "WeightedProximityGraph":
+        """A deep copy of this graph."""
+        clone = WeightedProximityGraph()
+        clone._adjacency = {u: dict(nbrs) for u, nbrs in self._adjacency.items()}
+        clone._edge_count = self._edge_count
+        return clone

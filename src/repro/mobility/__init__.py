@@ -1,0 +1,10 @@
+"""User mobility: movement models and cloaked-region lifetime analysis."""
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.mobility.lifetime import RegionLifetimeResult, run_region_lifetime
+
+__all__ = [
+    "RandomWaypointModel",
+    "RegionLifetimeResult",
+    "run_region_lifetime",
+]

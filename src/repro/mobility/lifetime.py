@@ -1,0 +1,139 @@
+"""Cloaked-region lifetime under mobility.
+
+The paper cloaks a static snapshot; its users, however, move.  A cloaked
+region formed at time 0 stays *useful* for a member only while it still
+contains that member's true position — once the member walks out, a
+request with the stale region would return results for the wrong area
+(correctness) and, worse, the region no longer hides the member among
+its cluster (privacy).
+
+This experiment measures that decay: cloak a workload at t = 0, advance
+a random-waypoint population, and track the fraction of (member, region)
+pairs still valid over time, plus the k-anonymity surviving in each
+region (how many of its cluster's members are still inside).  The decay
+rate tells a deployment how often re-cloaking must run for a given speed
+profile — the quantitative backdrop to the paper's future-work remarks
+on dynamic scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.cloaking.engine import CloakingEngine
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.errors import ReproError
+from repro.experiments.workloads import sample_hosts
+from repro.geometry.rect import Rect
+from repro.graph.build import build_wpg
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+@dataclass(frozen=True, slots=True)
+class RegionLifetimeResult:
+    """Validity decay of cloaked regions over simulated time."""
+
+    times: tuple[float, ...]
+    member_coverage: tuple[float, ...]  # fraction of members still inside
+    regions_fully_valid: tuple[float, ...]  # fraction of regions intact
+    anonymity_preserved: tuple[float, ...]  # fraction of regions with >= k inside
+
+    def format(self) -> str:
+        """Render the result as the benchmark-report text."""
+        return format_series(
+            "time",
+            list(self.times),
+            {
+                "members still covered": list(self.member_coverage),
+                "regions fully valid": list(self.regions_fully_valid),
+                "regions still k-anonymous": list(self.anonymity_preserved),
+            },
+            title="Cloaked-region lifetime under random-waypoint mobility",
+        )
+
+
+def run_region_lifetime(
+    dataset: PointDataset,
+    config: SimulationConfig,
+    requests: int = 100,
+    steps: int = 10,
+    dt: float = 1.0,
+    max_speed: float = 0.01,
+    seed: int = 37,
+) -> RegionLifetimeResult:
+    """Cloak at t = 0, then watch the regions go stale as users move."""
+    graph = build_wpg(dataset, config.delta, config.max_peers)
+    engine = CloakingEngine(dataset, graph, config, policy="optimal")
+    hosts = sample_hosts(graph, config.k, requests, seed=seed)
+
+    regions: list[tuple[Rect, list[int]]] = []
+    seen: set[frozenset[int]] = set()
+    for host in hosts:
+        try:
+            result = engine.request(host)
+        except ReproError:
+            continue
+        members = result.cluster.members
+        if members in seen:
+            continue
+        seen.add(members)
+        regions.append((result.region.rect, sorted(members)))
+
+    model = RandomWaypointModel(
+        dataset,
+        min_speed=max_speed / 10.0,
+        max_speed=max_speed,
+        seed=seed,
+    )
+    times: list[float] = [0.0]
+    coverage: list[float] = [1.0]
+    fully_valid: list[float] = [1.0]
+    anonymous: list[float] = [1.0]
+    snapshot = dataset
+    for _step in range(steps):
+        snapshot = model.step(dt)
+        inside_total = 0
+        member_total = 0
+        intact = 0
+        still_anonymous = 0
+        for rect, members in regions:
+            inside = sum(1 for m in members if rect.contains(snapshot[m]))
+            inside_total += inside
+            member_total += len(members)
+            if inside == len(members):
+                intact += 1
+            if inside >= config.k:
+                still_anonymous += 1
+        times.append(model.time)
+        coverage.append(inside_total / member_total if member_total else 1.0)
+        fully_valid.append(intact / len(regions) if regions else 1.0)
+        anonymous.append(still_anonymous / len(regions) if regions else 1.0)
+    return RegionLifetimeResult(
+        times=tuple(times),
+        member_coverage=tuple(coverage),
+        regions_fully_valid=tuple(fully_valid),
+        anonymity_preserved=tuple(anonymous),
+    )
+
+
+def run_region_lifetime_default(
+    users: int = 8000, requests: int = 100, seed: int = 37,
+    setup_config: Optional[SimulationConfig] = None,
+    speeds: Sequence[float] = (),
+) -> RegionLifetimeResult:
+    """Convenience wrapper building a scaled paper-default world."""
+    from repro.datasets.california import california_like_poi
+
+    config = setup_config if setup_config is not None else SimulationConfig(
+        user_count=users,
+        delta=2e-3 * (104_770 / users) ** 0.5,
+    )
+    dataset = california_like_poi(users, seed=seed)
+    return run_region_lifetime(dataset, config, requests=requests, seed=seed)
+
+
+if __name__ == "__main__":
+    print(run_region_lifetime_default().format())

@@ -1,0 +1,39 @@
+"""Message-level peer-to-peer simulation.
+
+The clustering and bounding layers are *algorithms*; this package is the
+substrate that runs them as actual message exchanges: an RPC-style
+network with per-kind message accounting, failure injection (dropped
+messages, crashed peers, retry budgets) and the concurrency control the
+paper lists as future work (Section VII).
+"""
+
+from repro.network.message import Message, MessageStats
+from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
+from repro.network.node import UserDevice, populate_network
+from repro.network.failures import FailurePlan
+from repro.network.latency import (
+    LatencyModel,
+    bounding_run_latency,
+    cloaking_latency,
+    clustering_latency,
+)
+from repro.network.remote_graph import RemoteGraphView
+from repro.network.concurrency import LockManager, ConcurrentCloakingCoordinator
+
+__all__ = [
+    "ConcurrentCloakingCoordinator",
+    "FailurePlan",
+    "LatencyModel",
+    "LockManager",
+    "Message",
+    "MessageDropped",
+    "MessageStats",
+    "PeerCrashed",
+    "PeerNetwork",
+    "RemoteGraphView",
+    "UserDevice",
+    "bounding_run_latency",
+    "cloaking_latency",
+    "clustering_latency",
+    "populate_network",
+]

@@ -1,0 +1,183 @@
+"""Concurrency control for simultaneous cloaking requests (Section VII).
+
+"Since a single user can only join one cluster but can participate [in]
+the clustering process of multiple host users, our protocols must prevent
+deadlocks while making the best clustering decision."
+
+The classic fix is ordered resource acquisition: every host acquires the
+vertices it wants to cluster in ascending vertex-id order, so the
+waits-for graph cannot contain a cycle.  :class:`LockManager` provides
+the primitive; :class:`ConcurrentCloakingCoordinator` drives a batch of
+simultaneous requests to completion, restarting losers whose vertices
+were claimed by an earlier-committing host — guaranteeing (a) progress,
+(b) no deadlock, and (c) no user ever lands in two clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.clustering.base import ClusterResult
+from repro.clustering.distributed import DistributedClustering
+
+
+class LockManager:
+    """Per-vertex exclusive locks with ordered acquisition.
+
+    ``acquire_all`` takes the whole set atomically: it sorts the ids and
+    acquires in ascending order, releasing everything and reporting the
+    blocking owner on conflict.  Because every transaction orders its
+    acquisitions identically, no deadlock is possible.
+    """
+
+    def __init__(self) -> None:
+        self._owner: dict[int, int] = {}
+
+    def holder(self, vertex: int) -> Optional[int]:
+        """The current lock owner of ``vertex``, or None."""
+        return self._owner.get(vertex)
+
+    def acquire_all(self, owner: int, vertices: Iterable[int]) -> Optional[int]:
+        """Try to lock all ``vertices`` for ``owner``.
+
+        Returns None on success; on conflict nothing stays locked and the
+        blocking owner's id is returned (re-entrant: vertices already
+        held by ``owner`` pass).
+        """
+        taken: list[int] = []
+        for vertex in sorted(set(vertices)):
+            current = self._owner.get(vertex)
+            if current is None:
+                self._owner[vertex] = owner
+                taken.append(vertex)
+            elif current != owner:
+                for locked in taken:
+                    del self._owner[locked]
+                return current
+        return None
+
+    def release_all(self, owner: int) -> None:
+        """Release every lock held by ``owner``."""
+        for vertex in [v for v, o in self._owner.items() if o == owner]:
+            del self._owner[vertex]
+
+    @property
+    def locked_count(self) -> int:
+        """Number of currently locked vertices."""
+        return len(self._owner)
+
+
+@dataclass(slots=True)
+class ConcurrentOutcome:
+    """What happened to one host in a concurrent batch."""
+
+    host: int
+    result: Optional[ClusterResult] = None
+    error: Optional[str] = None
+    restarts: int = 0
+    waited_on: list[int] = field(default_factory=list)
+
+
+class ConcurrentCloakingCoordinator:
+    """Runs a batch of simultaneous cloaking requests without deadlock.
+
+    The simulation model: all hosts start at once; each computes a
+    tentative cluster on the current registry state, then tries to lock
+    its members.  A host blocked by another waits for that host to commit
+    (ordered locking makes the waits-for relation acyclic, so waiting
+    terminates) and restarts its computation — its tentative cluster may
+    be stale because the winner clustered some of its members.
+    """
+
+    def __init__(
+        self,
+        clustering: DistributedClustering,
+        max_restarts: int = 10,
+    ) -> None:
+        if max_restarts < 0:
+            raise ProtocolError(f"max_restarts must be >= 0, got {max_restarts}")
+        self._clustering = clustering
+        self._locks = LockManager()
+        self._max_restarts = max_restarts
+
+    def run_batch(self, hosts: Sequence[int]) -> list[ConcurrentOutcome]:
+        """Serve all ``hosts`` as if they requested simultaneously.
+
+        Every host first *proposes* against the shared registry snapshot
+        (no commitment), then races to lock the users its proposal
+        claims.  The lock winner commits; losers record who they waited
+        on and restart with a fresh proposal, because the winner may have
+        clustered some of their members.  Ordered lock acquisition keeps
+        the waits-for relation acyclic, so every host terminates with a
+        result or a clean error — never a hang.
+        """
+        outcomes = [ConcurrentOutcome(host=host) for host in hosts]
+        # Round 1: everyone proposes against the same snapshot — this is
+        # the simultaneity; later rounds re-propose after conflicts.
+        proposals = {
+            index: self._propose(outcomes[index]) for index in range(len(hosts))
+        }
+        pending = [i for i in range(len(hosts)) if outcomes[i].result is None
+                   and outcomes[i].error is None]
+        while pending:
+            index = pending.pop(0)
+            outcome = outcomes[index]
+            if outcome.restarts > self._max_restarts:
+                outcome.error = "restart budget exhausted"
+                continue
+            proposal = proposals.get(index)
+            if proposal is None:
+                proposal = self._propose(outcome)
+                proposals[index] = proposal
+                if proposal is None:
+                    continue  # cached or failed during re-propose
+            blocker = self._locks.acquire_all(outcome.host, proposal.members())
+            if blocker is not None:
+                # The blocker is mid-commit; in this synchronous model it
+                # has already committed by the time we retry, so just
+                # restart with a fresh proposal.
+                outcome.waited_on.append(blocker)
+                outcome.restarts += 1
+                proposals[index] = None
+                pending.append(index)
+                continue
+            try:
+                outcome.result = self._clustering.commit(proposal)
+            except Exception:
+                # Stale proposal: some member was clustered since we
+                # proposed.  Recompute and retry.
+                outcome.restarts += 1
+                proposals[index] = None
+                pending.append(index)
+            finally:
+                self._locks.release_all(outcome.host)
+        return outcomes
+
+    def _propose(self, outcome: ConcurrentOutcome):
+        """Propose for one host; resolves cache hits and failures inline."""
+        host = outcome.host
+        try:
+            cluster = self._clustering.registry.cluster_of(host)
+            if cluster is not None:
+                outcome.result = ClusterResult(host, cluster, 0, from_cache=True)
+                return None
+            return self._clustering.propose(host)
+        except Exception as exc:  # clustering failure is a clean outcome
+            outcome.error = str(exc)
+            return None
+
+
+def run_concurrent_requests(
+    clustering: DistributedClustering,
+    hosts: Sequence[int],
+    max_restarts: int = 10,
+) -> list[ConcurrentOutcome]:
+    """Convenience wrapper around :class:`ConcurrentCloakingCoordinator`."""
+    coordinator = ConcurrentCloakingCoordinator(clustering, max_restarts)
+    return coordinator.run_batch(hosts)
+
+
+# Re-exported names some call sites prefer.
+Callback = Callable[[ConcurrentOutcome], None]

@@ -1,0 +1,63 @@
+"""Failure injection for the peer network (paper Section VII, future work).
+
+"Communication failures during the clustering or bounding process should
+also be concerned, and a balance must be struck between robustness and
+efficiency."  :class:`FailurePlan` injects exactly those failures,
+deterministically (seeded), so the robustness tests can assert that the
+protocols either complete with a correct result or abort cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class FailurePlan:
+    """Decides, per message, whether the network loses it.
+
+    Parameters
+    ----------
+    drop_probability:
+        Independent probability that any single message is lost.
+    crashed:
+        Peers that never respond (every message to them is lost).
+    seed:
+        RNG seed; the same plan replays identically.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        crashed: Iterable[int] = (),
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigurationError(
+                f"drop_probability must be in [0, 1), got {drop_probability}"
+            )
+        self._drop_probability = drop_probability
+        self._crashed = frozenset(crashed)
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def crashed(self) -> frozenset[int]:
+        """The permanently unreachable peers."""
+        return self._crashed
+
+    def crash(self, peer: int) -> "FailurePlan":
+        """A new plan with ``peer`` additionally crashed."""
+        plan = FailurePlan(self._drop_probability, self._crashed | {peer})
+        plan._rng = self._rng  # share the stream: drops stay reproducible
+        return plan
+
+    def should_drop(self, sender: int, recipient: int) -> bool:
+        """Loss decision for one message (advances the RNG stream)."""
+        if recipient in self._crashed or sender in self._crashed:
+            return True
+        if self._drop_probability == 0.0:
+            return False
+        return bool(self._rng.random() < self._drop_probability)

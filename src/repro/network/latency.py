@@ -1,0 +1,121 @@
+"""Protocol latency estimation (wall-clock, not message counts).
+
+The paper measures communication *volume*; a deployment also cares how
+long a host waits for its cloak.  The two phases have very different
+latency structure:
+
+* phase 1 (clustering) is *sequential*: the host decides which adjacency
+  to fetch next based on what it has seen, so the critical path is one
+  round trip per involved user;
+* phase 2 (bounding) is *round-parallel*: each iteration sends the
+  hypothesis to every still-disagreeing member concurrently and waits
+  for the slowest reply, so the critical path is one round trip per
+  iteration — and the four directional runs can themselves proceed in
+  parallel.
+
+:class:`LatencyModel` samples per-message round-trip times (log-normal,
+the standard heavy-tailed RTT model); the estimators walk a protocol
+report's structure and accumulate its critical path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.bounding.protocol import BoundingOutcome
+
+
+class LatencyModel:
+    """Samples message round-trip times.
+
+    ``median_rtt`` is the log-normal median; ``sigma`` the log-space
+    spread (0 = deterministic RTTs).  Seeded: estimates replay exactly.
+    """
+
+    def __init__(
+        self,
+        median_rtt: float = 0.05,
+        sigma: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if median_rtt <= 0:
+            raise ConfigurationError(
+                f"median_rtt must be positive, got {median_rtt}"
+            )
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+        self._mu = math.log(median_rtt)
+        self._sigma = sigma
+        self._rng = np.random.default_rng(seed)
+
+    def sample_rtt(self) -> float:
+        """One round-trip time."""
+        if self._sigma == 0:
+            return math.exp(self._mu)
+        return float(self._rng.lognormal(self._mu, self._sigma))
+
+    def slowest_of(self, concurrent: int) -> float:
+        """The latency of a round awaiting ``concurrent`` parallel replies."""
+        if concurrent < 1:
+            raise ConfigurationError(
+                f"concurrent must be >= 1, got {concurrent}"
+            )
+        if self._sigma == 0:
+            return math.exp(self._mu)
+        samples = self._rng.lognormal(self._mu, self._sigma, size=concurrent)
+        return float(samples.max())
+
+
+def clustering_latency(involved_users: int, model: LatencyModel) -> float:
+    """Critical path of phase 1: one sequential round trip per fetch."""
+    if involved_users < 0:
+        raise ConfigurationError(
+            f"involved_users must be >= 0, got {involved_users}"
+        )
+    return sum(model.sample_rtt() for _fetch in range(involved_users))
+
+
+def bounding_run_latency(outcome: BoundingOutcome, model: LatencyModel) -> float:
+    """Critical path of one directional bounding run.
+
+    Each iteration is a parallel verification round; the round ends when
+    the slowest still-disagreeing member answers.  A member participates
+    in every round up to and including the one it agreed in
+    (``agreement_rounds``); members the starting bound already covered
+    (round 0) participate in none.
+    """
+    if outcome.iterations == 0:
+        return 0.0
+    rounds = list(outcome.agreement_rounds.values())
+    total = 0.0
+    for iteration in range(1, outcome.iterations + 1):
+        participants = sum(1 for r in rounds if r >= iteration)
+        if participants == 0:
+            break
+        total += model.slowest_of(participants)
+    return total
+
+
+def cloaking_latency(
+    involved_users: int,
+    directions: dict[str, BoundingOutcome],
+    model: LatencyModel,
+    parallel_directions: bool = True,
+) -> float:
+    """End-to-end wall-clock estimate of one cloaking request.
+
+    Phase 1 plus phase 2, where the four directional bounding runs
+    either overlap (``parallel_directions``, the natural implementation:
+    a single hypothesis rectangle per round) or run back to back.
+    """
+    phase1 = clustering_latency(involved_users, model)
+    run_latencies = [
+        bounding_run_latency(outcome, model) for outcome in directions.values()
+    ]
+    if not run_latencies:
+        return phase1
+    phase2 = max(run_latencies) if parallel_directions else sum(run_latencies)
+    return phase1 + phase2

@@ -1,0 +1,60 @@
+"""Messages and message accounting."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One directed message between two peers.
+
+    ``kind`` names the protocol step (``adjacency``, ``verify_bound``,
+    ...); ``payload`` is protocol-defined.  Sizes are abstract units: the
+    cost model of the paper needs only the distinction between a small
+    control message (size 1) and POI content (size Cr).
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any = None
+    size: float = 1.0
+
+
+@dataclass(slots=True)
+class MessageStats:
+    """Running totals of network traffic, split by message kind."""
+
+    sent: int = 0
+    dropped: int = 0
+    total_size: float = 0.0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, message: Message) -> None:
+        """Account one sent message."""
+        self.sent += 1
+        self.total_size += message.size
+        self.by_kind[message.kind] += 1
+
+    def record_drop(self, message: Message) -> None:
+        """Account one lost message."""
+        self.dropped += 1
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict summary for reports and assertions."""
+        return {
+            "sent": self.sent,
+            "dropped": self.dropped,
+            "total_size": self.total_size,
+            **{f"kind:{kind}": count for kind, count in sorted(self.by_kind.items())},
+        }
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.sent = 0
+        self.dropped = 0
+        self.total_size = 0.0
+        self.by_kind.clear()

@@ -1,0 +1,79 @@
+"""The user device: what each peer actually exposes over the network.
+
+A device knows (a) its adjacency in the WPG — measured locally from radio
+signals — and (b) its own private coordinate.  Its handlers answer
+exactly the two questions the protocols ask:
+
+* ``adjacency`` — "send me your neighbour list and edge weights" (the
+  single clustering message of Section VI);
+* ``verify_bound`` — "is your coordinate's component along this axis at
+  most X?" (the secure-bounding verification; a yes/no, never the value).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.geometry.point import Point
+from repro.graph.wpg import WeightedProximityGraph
+from repro.network.simulator import PeerNetwork
+
+
+class UserDevice:
+    """One peer: private position plus local proximity knowledge."""
+
+    def __init__(
+        self,
+        user_id: int,
+        position: Point,
+        graph: WeightedProximityGraph,
+    ) -> None:
+        self._id = user_id
+        self._position = position
+        self._adjacency = graph.adjacency_message(user_id)
+
+    @property
+    def user_id(self) -> int:
+        """This device's user id."""
+        return self._id
+
+    def attach(self, network: PeerNetwork) -> None:
+        """Register this device's handlers on ``network``."""
+        network.register(self._id, "adjacency", self._handle_adjacency)
+        network.register(self._id, "verify_bound", self._handle_verify)
+
+    # -- handlers -------------------------------------------------------------
+
+    def _handle_adjacency(self, sender: int, payload: Any) -> dict[int, float]:
+        return dict(self._adjacency)
+
+    def _handle_verify(self, sender: int, payload: Any) -> bool:
+        """Answer a directional bound hypothesis with yes/no only.
+
+        ``payload`` is ``(axis, sign, bound)``: the device agrees when
+        ``sign * coordinate(axis) <= bound``.  The reply leaks exactly one
+        bit — the semi-honest protocol's designed disclosure.
+        """
+        try:
+            axis, sign, bound = payload
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed verify_bound payload: {payload!r}") from exc
+        if axis not in (0, 1) or sign not in (-1.0, 1.0, -1, 1):
+            raise ProtocolError(f"malformed verify_bound payload: {payload!r}")
+        return sign * self._position.coordinate(axis) <= bound
+
+
+def populate_network(
+    network: PeerNetwork,
+    graph: WeightedProximityGraph,
+    positions: "list[Point] | dict[int, Point]",
+) -> dict[int, UserDevice]:
+    """Create and attach a :class:`UserDevice` for every WPG vertex."""
+    devices: dict[int, UserDevice] = {}
+    for vertex in graph.vertices():
+        position = positions[vertex]
+        device = UserDevice(vertex, position, graph)
+        device.attach(network)
+        devices[vertex] = device
+    return devices

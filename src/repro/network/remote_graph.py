@@ -1,0 +1,79 @@
+"""A WPG view whose adjacency is fetched over the network.
+
+The distributed clustering algorithm only reads ``neighbor_weights``;
+this view implements that surface by issuing one ``adjacency`` RPC per
+distinct vertex (cached afterwards — a device's answer never changes in
+a static snapshot).  Running the *same* algorithm code over this view
+instead of the in-memory graph turns the analytic simulation into a
+message-level execution: the number of distinct fetches is the number of
+involved users, and each fetch can fail under the failure plan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.network.simulator import PeerNetwork
+
+
+class RemoteGraphView:
+    """Duck-typed :class:`~repro.graph.wpg.WeightedProximityGraph` reader.
+
+    Only the read methods the traversal layer uses are provided; anything
+    mutating raises.  ``host`` is the peer issuing all fetches; its own
+    adjacency is known locally and costs nothing.
+    """
+
+    def __init__(
+        self,
+        network: PeerNetwork,
+        host: int,
+        host_adjacency: dict[int, float],
+        retries: int = 0,
+    ) -> None:
+        self._network = network
+        self._host = host
+        self._cache: dict[int, dict[int, float]] = {host: dict(host_adjacency)}
+        self._retries = retries
+
+    @property
+    def fetched(self) -> int:
+        """Distinct peers whose adjacency was fetched (involved users)."""
+        return len(self._cache) - 1  # the host itself is free
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._cache or self._network.knows(vertex)
+
+    def _adjacency(self, vertex: int) -> dict[int, float]:
+        cached = self._cache.get(vertex)
+        if cached is not None:
+            return cached
+        fetched = self._network.call(
+            self._host, vertex, "adjacency", retries=self._retries
+        )
+        if not isinstance(fetched, dict):
+            raise GraphError(f"peer {vertex} returned a malformed adjacency")
+        self._cache[vertex] = fetched
+        return fetched
+
+    # -- read surface used by the traversals -----------------------------------
+
+    def neighbor_weights(self, vertex: int) -> Iterator[tuple[int, float]]:
+        """Iterate ``(neighbor, weight)`` pairs of ``vertex``."""
+        return iter(self._adjacency(vertex).items())
+
+    def neighbors(self, vertex: int) -> Iterator[int]:
+        """Iterate the neighbors of ``vertex``."""
+        return iter(self._adjacency(vertex))
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``."""
+        adjacency = self._adjacency(u)
+        if v not in adjacency:
+            raise GraphError(f"no edge ({u}, {v})")
+        return adjacency[v]
+
+    def degree(self, vertex: int) -> int:
+        """Number of neighbors of ``vertex``."""
+        return len(self._adjacency(vertex))

@@ -1,0 +1,102 @@
+"""The synchronous RPC-style peer network.
+
+Protocols in this repository are request/response shaped (fetch an
+adjacency list, verify a bound), so the simulator models a *call*: a
+request message, handler execution at the recipient, and a response
+message.  Both legs are counted and both can be lost under a
+:class:`~repro.network.failures.FailurePlan`; a caller with a retry
+budget re-issues the call, and exhausting the budget raises
+:class:`MessageDropped` (or :class:`PeerCrashed` when the peer is known
+dead) for the protocol layer to handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ProtocolError
+from repro.network.failures import FailurePlan
+from repro.network.message import Message, MessageStats
+
+Handler = Callable[[int, Any], Any]
+
+
+class MessageDropped(ProtocolError):
+    """A call (request or response leg) was lost and retries ran out."""
+
+
+class PeerCrashed(ProtocolError):
+    """The peer is crashed; no number of retries will ever succeed."""
+
+
+class PeerNetwork:
+    """Registry of peers and their RPC handlers, with traffic accounting."""
+
+    def __init__(
+        self,
+        failure_plan: Optional[FailurePlan] = None,
+        default_retries: int = 0,
+    ) -> None:
+        if default_retries < 0:
+            raise ProtocolError(f"default_retries must be >= 0, got {default_retries}")
+        self._handlers: dict[int, dict[str, Handler]] = {}
+        self._failures = failure_plan if failure_plan is not None else FailurePlan()
+        self._default_retries = default_retries
+        self.stats = MessageStats()
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, peer: int, kind: str, handler: Handler) -> None:
+        """Install ``handler`` for messages of ``kind`` addressed to ``peer``."""
+        self._handlers.setdefault(peer, {})[kind] = handler
+
+    def knows(self, peer: int) -> bool:
+        """True if ``peer`` has any registered handler."""
+        return peer in self._handlers
+
+    # -- calling -----------------------------------------------------------------
+
+    def call(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        response_size: float = 1.0,
+        retries: Optional[int] = None,
+    ) -> Any:
+        """One RPC: request leg, handler, response leg.
+
+        Retries re-send the whole call.  Raises :class:`PeerCrashed` if
+        the recipient is crashed (the caller can give up immediately) and
+        :class:`MessageDropped` when transient losses exhaust the budget.
+        """
+        handlers = self._handlers.get(recipient)
+        if handlers is None or kind not in handlers:
+            raise ProtocolError(f"peer {recipient} has no handler for {kind!r}")
+        budget = self._default_retries if retries is None else retries
+        if recipient in self._failures.crashed:
+            # The caller still wastes its request messages discovering this.
+            for _attempt in range(budget + 1):
+                self.stats.record(Message(sender, recipient, kind, payload))
+                self.stats.record_drop(Message(sender, recipient, kind, payload))
+            raise PeerCrashed(f"peer {recipient} is down")
+        for attempt in range(budget + 1):
+            request = Message(sender, recipient, kind, payload)
+            self.stats.record(request)
+            if self._failures.should_drop(sender, recipient):
+                self.stats.record_drop(request)
+                continue
+            result = handlers[kind](sender, payload)
+            response = Message(
+                recipient, sender, f"{kind}:reply", result, size=response_size
+            )
+            self.stats.record(response)
+            if self._failures.should_drop(recipient, sender):
+                self.stats.record_drop(response)
+                continue
+            return result
+        raise MessageDropped(
+            f"call {kind!r} from {sender} to {recipient} lost after "
+            f"{budget + 1} attempt(s)"
+        )

@@ -1,0 +1,14 @@
+"""Radio proximity measurement: RSS and TDOA models plus peer ranking."""
+
+from repro.radio.rss import IdealRSSModel, LogDistanceRSSModel, RSSModel
+from repro.radio.tdoa import TDOAModel
+from repro.radio.measurement import ProximityMeter, ProximityModel
+
+__all__ = [
+    "IdealRSSModel",
+    "LogDistanceRSSModel",
+    "ProximityMeter",
+    "ProximityModel",
+    "RSSModel",
+    "TDOAModel",
+]

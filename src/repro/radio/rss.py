@@ -1,0 +1,98 @@
+"""Received-signal-strength models.
+
+The paper's experiments "adopt a simple RSS model that is reversely
+correlated to the distance"; :class:`IdealRSSModel` is that model.
+:class:`LogDistanceRSSModel` adds the standard log-distance path-loss law
+with optional log-normal shadowing, used by the robustness experiments to
+show the algorithms tolerate noisy rankings.
+
+All models return *larger is closer* readings, so sorting peers by
+descending RSS sorts them by ascending estimated distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class RSSModel(Protocol):
+    """Signal-strength reading for a transmitter at distance ``distance``."""
+
+    def rss(self, distance: float) -> float:
+        """Signal-strength reading at ``distance`` (larger = closer)."""
+        ...
+
+
+class IdealRSSModel:
+    """Noise-free RSS strictly decreasing in distance.
+
+    ``rss(d) = 1 / (d + eps)`` — the exact functional form is irrelevant
+    because only the induced peer *ranking* is consumed, and any strictly
+    decreasing function induces the distance ranking.
+    """
+
+    def __init__(self, epsilon: float = 1e-9) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self._epsilon = epsilon
+
+    def rss(self, distance: float) -> float:
+        """Signal-strength reading at ``distance`` (larger = closer)."""
+        if distance < 0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance}")
+        return 1.0 / (distance + self._epsilon)
+
+
+class LogDistanceRSSModel:
+    """Log-distance path loss with optional log-normal shadowing.
+
+    ``P(d) = P0 - 10 * n * log10(d / d0) + X`` where ``X ~ N(0, sigma^2)``
+    in dB.  With ``sigma > 0`` the induced ranking is a noisy permutation
+    of the true distance ranking — exactly the imperfection a real device
+    observing WiFi RSS (paper Fig. 1) would see.
+
+    The model is deterministic given its seed: the shadowing term for a
+    given (ordered) pair of readings is drawn from the instance RNG, so
+    construct one instance per simulated measurement campaign.
+    """
+
+    def __init__(
+        self,
+        reference_power_db: float = -40.0,
+        path_loss_exponent: float = 2.5,
+        reference_distance: float = 1e-4,
+        shadowing_sigma_db: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if path_loss_exponent <= 0:
+            raise ConfigurationError(
+                f"path_loss_exponent must be positive, got {path_loss_exponent}"
+            )
+        if reference_distance <= 0:
+            raise ConfigurationError(
+                f"reference_distance must be positive, got {reference_distance}"
+            )
+        if shadowing_sigma_db < 0:
+            raise ConfigurationError(
+                f"shadowing_sigma_db must be non-negative, got {shadowing_sigma_db}"
+            )
+        self._p0 = reference_power_db
+        self._n = path_loss_exponent
+        self._d0 = reference_distance
+        self._sigma = shadowing_sigma_db
+        self._rng = np.random.default_rng(seed)
+
+    def rss(self, distance: float) -> float:
+        """Signal-strength reading at ``distance`` (larger = closer)."""
+        if distance < 0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance}")
+        effective = max(distance, self._d0)
+        reading = self._p0 - 10.0 * self._n * math.log10(effective / self._d0)
+        if self._sigma > 0:
+            reading += float(self._rng.normal(0.0, self._sigma))
+        return reading

@@ -1,0 +1,58 @@
+"""Time-difference-of-arrival proximity model.
+
+TDOA is the paper's second proposed proximity source: the shorter the
+beacon round trip, the closer the peer.  Readings are *smaller is closer*,
+the opposite sense of RSS; :class:`~repro.radio.measurement.ProximityMeter`
+normalises both into a single "closeness" ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Signal propagation speed in unit-square lengths per second.  The value
+#: is arbitrary (only ratios matter for rankings); it is chosen so typical
+#: peer distances (~1e-3) give arrival times around a microsecond.
+PROPAGATION_SPEED = 1000.0
+
+
+class TDOAModel:
+    """Beacon arrival time for a peer at a given distance.
+
+    ``t(d) = d / c + jitter`` where jitter is zero-mean Gaussian clock
+    noise.  With zero jitter the induced ranking equals the distance
+    ranking.
+    """
+
+    def __init__(
+        self,
+        propagation_speed: float = PROPAGATION_SPEED,
+        jitter_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if propagation_speed <= 0:
+            raise ConfigurationError(
+                f"propagation_speed must be positive, got {propagation_speed}"
+            )
+        if jitter_sigma < 0:
+            raise ConfigurationError(
+                f"jitter_sigma must be non-negative, got {jitter_sigma}"
+            )
+        self._speed = propagation_speed
+        self._jitter = jitter_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def arrival_time(self, distance: float) -> float:
+        """Time of arrival of a beacon from a peer ``distance`` away."""
+        if distance < 0:
+            raise ConfigurationError(f"distance must be non-negative, got {distance}")
+        reading = distance / self._speed
+        if self._jitter > 0:
+            reading += float(self._rng.normal(0.0, self._jitter))
+        return max(reading, 0.0)
+
+    def rss(self, distance: float) -> float:
+        """Adapter to the RSS protocol: negate so larger means closer."""
+        return -self.arrival_time(distance)

@@ -1,0 +1,13 @@
+"""The LBS server side: POI database, cloaked-region queries, costs."""
+
+from repro.server.poidb import POIDatabase
+from repro.server.queries import range_query, range_knn_query
+from repro.server.costs import request_cost_messages, total_request_cost
+
+__all__ = [
+    "POIDatabase",
+    "range_knn_query",
+    "range_query",
+    "request_cost_messages",
+    "total_request_cost",
+]

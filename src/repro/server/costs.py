@@ -1,0 +1,44 @@
+"""Request-cost accounting (Sections V and VI).
+
+The experiments charge a service request by the content it ships: every
+candidate POI inside the cloaked region costs Cr messages' worth of
+content (Table I: Cr = 1000 bounding messages per POI).  Larger cloaked
+regions therefore trade privacy for a proportionally larger download —
+the degradation the whole minimisation effort targets.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.geometry.rect import Rect
+from repro.server.poidb import POIDatabase
+
+
+def request_cost_messages(
+    db: POIDatabase, region: Rect, config: SimulationConfig
+) -> float:
+    """Cost of one service request over ``region``, in message units.
+
+    ``Cr * |POIs inside region|`` — the candidate superset of the range
+    query, each POI's content weighing Cr bounding messages.
+    """
+    return config.request_cost * db.count_in_region(region)
+
+
+def total_request_cost(
+    db: POIDatabase,
+    region: Rect,
+    clustering_messages: int,
+    bounding_messages: int,
+    config: SimulationConfig,
+) -> float:
+    """End-to-end cost of a cloaked request (Fig. 10 / Fig. 13c).
+
+    Clustering and bounding messages cost one unit each (Cb = 1 in
+    Table I scales them); the request itself costs per POI shipped.
+    """
+    return (
+        clustering_messages
+        + config.bounding_cost * bounding_messages
+        + request_cost_messages(db, region, config)
+    )

@@ -1,0 +1,74 @@
+"""Query processing over cloaked regions (related work, Casper-style).
+
+A server receiving a cloaked rectangle instead of a point cannot answer
+exactly; it returns a *candidate superset* the client filters locally:
+
+* :func:`range_query` — all POIs intersecting the query range anchored
+  anywhere in the cloaked region (the experiments' service request);
+* :func:`range_knn_query` — the k-range-nearest-neighbor query of Hu and
+  Lee: every POI that could be among the k nearest of *some* point in
+  the region.
+
+Both return candidate id lists whose length is the request's
+communication cost in POI-content units.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.server.poidb import POIDatabase
+
+
+def range_query(db: POIDatabase, region: Rect, radius: float = 0.0) -> list[int]:
+    """Candidates for a radius query issued from somewhere in ``region``.
+
+    The superset is every POI within ``radius`` of the region, i.e.
+    inside the region expanded by ``radius`` (corner rounding ignored, as
+    in Casper's rectangular candidate sets — the superset stays a
+    superset).  ``radius=0`` degenerates to "POIs inside the cloaked
+    region", the cost the experiments charge.
+    """
+    if radius < 0:
+        raise ConfigurationError(f"radius must be non-negative, got {radius}")
+    return db.in_region(region.expanded(radius))
+
+
+def range_knn_query(db: POIDatabase, region: Rect, k: int) -> list[int]:
+    """k-range-NN candidates: the union of kNN answers over the region.
+
+    Sound superset construction: for any anchor p inside the region and
+    any corner c, ``kNNdist(p) <= |p - c| + kNNdist(c)`` (take c's k
+    nearest; they all lie within that radius of p).  Since some corner is
+    within the region's diagonal of p, every anchor's k-th-NN distance is
+    at most ``max_corner kNNdist(corner) + diagonal``, so every possible
+    answer lies within that radius of the region.
+    """
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    if len(db) < k:
+        return list(range(len(db)))
+    corners = [
+        Point(region.x_min, region.y_min),
+        Point(region.x_min, region.y_max),
+        Point(region.x_max, region.y_min),
+        Point(region.x_max, region.y_max),
+    ]
+    corner_radius = 0.0
+    for corner in corners:
+        ids = db.nearest(corner, k)
+        corner_radius = max(corner_radius, corner.distance_to(db.poi(ids[-1])))
+    return db.in_region(region.expanded(corner_radius + region.diagonal))
+
+
+def filter_exact_knn(
+    db: POIDatabase, candidates: list[int], position: Point, k: int
+) -> list[int]:
+    """The client-side refinement step: exact kNN from the candidate set."""
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    ranked = sorted(
+        candidates, key=lambda i: position.squared_distance_to(db.poi(i))
+    )
+    return ranked[:k]

@@ -1,0 +1,172 @@
+"""Uniform grid index over the unit square.
+
+The grid is the workhorse index of this library: proximity-graph
+construction needs "all users within distance delta" for every user, and
+the LBS server needs "all POIs inside a rectangle".  A uniform grid with
+cell size close to delta answers both in expected O(result size).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class GridIndex:
+    """A uniform grid over ``bounds`` bucketing point ids by cell.
+
+    Parameters
+    ----------
+    points:
+        The indexed points; their position in this sequence is their id.
+    cell_size:
+        Edge length of a grid cell.  For radius queries of radius ``r``,
+        ``cell_size`` around ``r`` gives the best constant factors.
+    bounds:
+        The indexed area; defaults to the unit square.  Points outside the
+        bounds are clamped into the boundary cells, so indexing never fails.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        cell_size: float,
+        bounds: Rect | None = None,
+    ) -> None:
+        if cell_size <= 0:
+            raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
+        self._points = list(points)
+        self._bounds = bounds if bounds is not None else Rect.unit_square()
+        self._cell_size = cell_size
+        self._nx = max(1, math.ceil(self._bounds.width / cell_size))
+        self._ny = max(1, math.ceil(self._bounds.height / cell_size))
+        self._cells: dict[tuple[int, int], list[int]] = {}
+        for idx, point in enumerate(self._points):
+            self._cells.setdefault(self._cell_of(point), []).append(idx)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def cell_size(self) -> float:
+        """Edge length of one grid cell."""
+        return self._cell_size
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Number of cells along x and y."""
+        return (self._nx, self._ny)
+
+    def point(self, idx: int) -> Point:
+        """The point stored under id ``idx``."""
+        return self._points[idx]
+
+    def _cell_of(self, point: Point) -> tuple[int, int]:
+        cx = int((point.x - self._bounds.x_min) / self._cell_size)
+        cy = int((point.y - self._bounds.y_min) / self._cell_size)
+        return (min(max(cx, 0), self._nx - 1), min(max(cy, 0), self._ny - 1))
+
+    def _cells_overlapping(self, rect: Rect) -> Iterable[tuple[int, int]]:
+        lo_x, lo_y = self._cell_of(Point(rect.x_min, rect.y_min))
+        hi_x, hi_y = self._cell_of(Point(rect.x_max, rect.y_max))
+        for cx in range(lo_x, hi_x + 1):
+            for cy in range(lo_y, hi_y + 1):
+                yield (cx, cy)
+
+    # -- queries -------------------------------------------------------------
+
+    def query_rect(self, rect: Rect) -> list[int]:
+        """Ids of all points inside the closed rectangle ``rect``."""
+        result: list[int] = []
+        for cell in self._cells_overlapping(rect):
+            for idx in self._cells.get(cell, ()):
+                if rect.contains(self._points[idx]):
+                    result.append(idx)
+        return result
+
+    def count_rect(self, rect: Rect) -> int:
+        """Number of points inside ``rect`` (no id materialisation)."""
+        count = 0
+        for cell in self._cells_overlapping(rect):
+            for idx in self._cells.get(cell, ()):
+                if rect.contains(self._points[idx]):
+                    count += 1
+        return count
+
+    def query_radius(self, center: Point, radius: float) -> list[int]:
+        """Ids of all points within ``radius`` of ``center`` (inclusive).
+
+        The center point itself is included when it is indexed.
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        box = Rect(
+            center.x - radius, center.x + radius, center.y - radius, center.y + radius
+        )
+        r2 = radius * radius
+        result: list[int] = []
+        for cell in self._cells_overlapping(box):
+            for idx in self._cells.get(cell, ()):
+                if center.squared_distance_to(self._points[idx]) <= r2:
+                    result.append(idx)
+        return result
+
+    def nearest_neighbors(
+        self, center: Point, count: int, max_radius: float | None = None
+    ) -> list[int]:
+        """Ids of the ``count`` nearest points to ``center``, nearest first.
+
+        Points at distance greater than ``max_radius`` are never returned.
+        If the index holds fewer eligible points than ``count``, all of them
+        are returned.  Expanding ring search: candidates are gathered from
+        cells in growing square rings until the answer is provably complete.
+        """
+        if count <= 0:
+            return []
+        limit = max_radius if max_radius is not None else math.inf
+        ccx, ccy = self._cell_of(center)
+        best: list[tuple[float, int]] = []
+        max_ring = max(self._nx, self._ny)
+        for ring in range(0, max_ring + 1):
+            # Gather the cells forming this ring around the center cell.
+            added_any = False
+            for cx, cy in self._ring_cells(ccx, ccy, ring):
+                for idx in self._cells.get((cx, cy), ()):
+                    d2 = center.squared_distance_to(self._points[idx])
+                    if d2 <= limit * limit:
+                        best.append((d2, idx))
+                        added_any = True
+            # Points in rings > `ring` are at least (ring) * cell_size away
+            # from the center, so once we hold `count` answers closer than
+            # that lower bound, the result is complete.
+            if len(best) >= count:
+                best.sort()
+                kth_dist = math.sqrt(best[count - 1][0])
+                if kth_dist <= ring * self._cell_size:
+                    return [idx for _, idx in best[:count]]
+            if ring * self._cell_size > limit and not added_any:
+                break
+        best.sort()
+        return [idx for _, idx in best[:count]]
+
+    def _ring_cells(
+        self, ccx: int, ccy: int, ring: int
+    ) -> Iterable[tuple[int, int]]:
+        if ring == 0:
+            if 0 <= ccx < self._nx and 0 <= ccy < self._ny:
+                yield (ccx, ccy)
+            return
+        lo_x, hi_x = ccx - ring, ccx + ring
+        lo_y, hi_y = ccy - ring, ccy + ring
+        for cx in range(lo_x, hi_x + 1):
+            for cy in (lo_y, hi_y):
+                if 0 <= cx < self._nx and 0 <= cy < self._ny:
+                    yield (cx, cy)
+        for cy in range(lo_y + 1, hi_y):
+            for cx in (lo_x, hi_x):
+                if 0 <= cx < self._nx and 0 <= cy < self._ny:
+                    yield (cx, cy)

@@ -1,0 +1,89 @@
+"""Uniform facade over the spatial indexes.
+
+Proximity-graph construction and the radio measurement layer only need two
+queries — "who is within delta of me" and "my M nearest peers within
+delta" — and should not care which index answers them.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+
+IndexKind = Literal["grid", "kdtree"]
+
+
+class SpatialIndex(Protocol):
+    """The query surface both concrete indexes implement."""
+
+    def __len__(self) -> int: ...
+
+    def point(self, idx: int) -> Point:
+        """The point stored under id ``idx``."""
+        ...
+
+    def query_radius(self, center: Point, radius: float) -> list[int]:
+        """Ids of points within ``radius`` of ``center``."""
+        ...
+
+    def nearest_neighbors(
+        self, center: Point, count: int, max_radius: float | None = None
+    ) -> list[int]:
+        """Ids of the ``count`` nearest points, nearest first."""
+        ...
+
+
+class NeighborFinder:
+    """Answers peer-discovery queries for a static user population.
+
+    Parameters
+    ----------
+    points:
+        User positions; position in the sequence is the user id.
+    kind:
+        Which index to use; ``"grid"`` (default) or ``"kdtree"``.
+    cell_size:
+        Grid cell size; only used for the grid index.  Callers building a
+        WPG pass the communication range ``delta`` here.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        kind: IndexKind = "grid",
+        cell_size: float = 0.002,
+    ) -> None:
+        self._index: SpatialIndex
+        if kind == "grid":
+            self._index = GridIndex(points, cell_size=cell_size)
+        elif kind == "kdtree":
+            self._index = KDTree(points)
+        else:
+            raise ConfigurationError(f"unknown index kind: {kind!r}")
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def point(self, idx: int) -> Point:
+        """The point stored under id ``idx``."""
+        return self._index.point(idx)
+
+    def peers_in_range(self, user: int, delta: float) -> list[int]:
+        """Ids of all users within communication range of ``user`` (excl. self)."""
+        center = self._index.point(user)
+        return [i for i in self._index.query_radius(center, delta) if i != user]
+
+    def nearest_peers(self, user: int, count: int, delta: float) -> list[int]:
+        """The ``count`` nearest users to ``user`` within ``delta``, nearest first.
+
+        This models a device keeping connections to its strongest-signal
+        peers, capped at the device limit M.
+        """
+        center = self._index.point(user)
+        # Request one extra because the user itself is its own 1-NN.
+        found = self._index.nearest_neighbors(center, count + 1, max_radius=delta)
+        return [i for i in found if i != user][:count]

@@ -1,0 +1,68 @@
+"""Tests for stats summaries and report formatting."""
+
+import math
+
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import Summary, summarize
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_single(self):
+        summary = summarize([3.0])
+        assert summary == Summary(1, 3.0, 3.0, 3.0, 3.0, 0.0)
+
+    def test_even_median(self):
+        assert summarize([1.0, 2.0, 3.0, 4.0]).median == 2.5
+
+    def test_odd_median(self):
+        assert summarize([5.0, 1.0, 3.0]).median == 3.0
+
+    def test_stddev(self):
+        summary = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert summary.stddev == 2.0  # classic population-stddev example
+
+    def test_min_max(self):
+        summary = summarize([3.0, -1.0, 7.0])
+        assert summary.minimum == -1.0
+        assert summary.maximum == 7.0
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1].replace("  ", "")) == {"-"}
+        # Right-justified columns line up.
+        assert lines[0].index("value") == lines[2].index("1") - 4
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1.23456e-7], [123456.7], [0.0]])
+        assert "1.235e-07" in text
+        assert "1.235e+05" in text
+        assert " 0" in text
+
+
+class TestFormatSeries:
+    def test_series_columns(self):
+        text = format_series(
+            "k", [5, 10], {"alpha": [1.0, 2.0], "beta": [3.0, 4.0]}, title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in lines[1]
+        assert "beta" in lines[1]
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        text = format_series("k", [1], {"s": [2]})
+        assert not text.startswith("\n")

@@ -1,0 +1,230 @@
+"""Tests for the progressive bounding protocol, policies, boxing, privacy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
+from repro.bounding.costmodel import AreaRequestCost
+from repro.bounding.distributions import UniformIncrement
+from repro.bounding.policies import ExponentialPolicy, LinearPolicy, SecurePolicy
+from repro.bounding.privacy import (
+    PrivacyFloorPolicy,
+    privacy_loss_intervals,
+    privacy_loss_metric,
+)
+from repro.bounding.protocol import optimal_bound, progressive_upper_bound
+from repro.errors import BoundingError, ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=25,
+)
+policies = st.sampled_from(
+    [
+        LinearPolicy(0.05),
+        ExponentialPolicy(0.01),
+        SecurePolicy(UniformIncrement(0.3), AreaRequestCost(100.0), cb=1.0),
+    ]
+)
+
+
+class TestPolicies:
+    def test_linear_constant(self):
+        policy = LinearPolicy(0.2)
+        assert policy.increment(5, 0.0) == 0.2
+        assert policy.increment(1, 3.0) == 0.2
+
+    def test_exponential_doubles(self):
+        policy = ExponentialPolicy(0.1)
+        assert policy.increment(5, 0.0) == 0.1
+        assert policy.increment(5, 0.4) == 0.4  # increment == extent: doubles
+
+    def test_secure_adapts_to_n(self):
+        policy = SecurePolicy(UniformIncrement(1.0), AreaRequestCost(100.0), cb=1.0)
+        small = policy.increment(1, 0.0)
+        large = policy.increment(10, 0.0)
+        assert large >= small
+
+    def test_secure_exact_mode(self):
+        policy = SecurePolicy(
+            UniformIncrement(1.0), AreaRequestCost(100.0), cb=1.0, mode="exact"
+        )
+        assert policy.increment(3, 0.0) > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearPolicy(0.0)
+        with pytest.raises(ConfigurationError):
+            ExponentialPolicy(-1.0)
+        with pytest.raises(ConfigurationError):
+            SecurePolicy(UniformIncrement(1.0), AreaRequestCost(1.0), cb=0.0)
+        with pytest.raises(ConfigurationError):
+            SecurePolicy(
+                UniformIncrement(1.0), AreaRequestCost(1.0), cb=1.0, mode="wild"
+            )  # type: ignore[arg-type]
+        policy = SecurePolicy(UniformIncrement(1.0), AreaRequestCost(1.0), cb=1.0)
+        with pytest.raises(ConfigurationError):
+            policy.increment(0, 0.0)
+
+
+class TestProtocol:
+    def test_empty_values_raise(self):
+        with pytest.raises(ConfigurationError):
+            progressive_upper_bound([], 0.0, LinearPolicy(0.1))
+
+    def test_all_covered_at_start(self):
+        outcome = progressive_upper_bound([0.1, 0.2], 0.5, LinearPolicy(0.1))
+        assert outcome.iterations == 0
+        assert outcome.messages == 0
+        assert outcome.bound == 0.5
+
+    def test_single_user_iterates(self):
+        outcome = progressive_upper_bound([0.95], 0.5, LinearPolicy(0.1))
+        assert outcome.bound >= 0.95
+        assert outcome.iterations == 5
+        assert outcome.messages == 5  # one user verifying each round
+
+    def test_messages_count_disagreeing_only(self):
+        # Two users: one agrees after round 1, the other after round 2.
+        outcome = progressive_upper_bound([0.55, 0.65], 0.5, LinearPolicy(0.1))
+        assert outcome.iterations == 2
+        assert outcome.messages == 3  # 2 + 1
+
+    def test_agreement_intervals_pin_values(self):
+        values = [0.55, 0.65]
+        outcome = progressive_upper_bound(values, 0.5, LinearPolicy(0.1))
+        for index, (low, high) in outcome.agreement_intervals.items():
+            assert low < values[index] <= high or math.isinf(low)
+
+    def test_non_positive_increment_rejected(self):
+        class BrokenPolicy:
+            name = "broken"
+
+            def increment(self, disagreeing, extent):
+                return 0.0
+
+        with pytest.raises(BoundingError):
+            progressive_upper_bound([1.0], 0.0, BrokenPolicy())
+
+    def test_max_iterations_guard(self):
+        with pytest.raises(BoundingError):
+            progressive_upper_bound(
+                [1e12], 0.0, LinearPolicy(1.0), max_iterations=10
+            )
+
+    @given(values=values_strategy, policy=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_property_bound_covers_all_values(self, values, policy):
+        """The protocol's fundamental guarantee: the result upper-bounds
+        every private value, whatever the policy."""
+        outcome = progressive_upper_bound(values, 0.0, policy)
+        assert outcome.bound >= max(values)
+        assert outcome.overshoot(values) >= 0.0
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_property_intervals_cover_every_user(self, values):
+        outcome = progressive_upper_bound(values, 0.0, LinearPolicy(0.13))
+        assert set(outcome.agreement_intervals) == set(range(len(values)))
+
+    def test_optimal_bound_is_exact_max(self):
+        assert optimal_bound([0.2, 0.9, 0.5]) == 0.9
+        with pytest.raises(ConfigurationError):
+            optimal_bound([])
+
+
+class TestBoxing:
+    @pytest.fixture()
+    def cluster(self):
+        return [
+            Point(0.50, 0.50),
+            Point(0.52, 0.49),
+            Point(0.48, 0.53),
+            Point(0.51, 0.47),
+        ]
+
+    def test_box_contains_all_members(self, cluster):
+        result = secure_bounding_box(cluster, 0, lambda: LinearPolicy(0.01))
+        assert all(result.region.contains(p) for p in cluster)
+
+    def test_box_contains_optimal_box(self, cluster):
+        result = secure_bounding_box(cluster, 0, lambda: LinearPolicy(0.01))
+        assert result.region.contains_rect(optimal_bounding_box(cluster))
+
+    def test_clip_to_unit_square(self):
+        members = [Point(0.99, 0.99), Point(0.98, 0.98)]
+        result = secure_bounding_box(
+            members, 0, lambda: LinearPolicy(0.05), clip_to=Rect.unit_square()
+        )
+        assert Rect.unit_square().contains_rect(result.region)
+        assert all(result.region.contains(p) for p in members)
+
+    def test_costs_aggregate_directions(self, cluster):
+        result = secure_bounding_box(cluster, 0, lambda: LinearPolicy(0.01))
+        assert set(result.directions) == {"x_max", "x_min", "y_max", "y_min"}
+        assert result.messages == sum(
+            run.messages for run in result.directions.values()
+        )
+        assert result.iterations == sum(
+            run.iterations for run in result.directions.values()
+        )
+
+    def test_bad_host_index(self, cluster):
+        with pytest.raises(ConfigurationError):
+            secure_bounding_box(cluster, 9, lambda: LinearPolicy(0.01))
+
+    def test_optimal_box_tight(self, cluster):
+        box = optimal_bounding_box(cluster)
+        assert box == Rect(0.48, 0.52, 0.47, 0.53)
+
+
+class TestPrivacy:
+    def test_interval_widths(self):
+        outcome = progressive_upper_bound([0.55, 0.95], 0.5, LinearPolicy(0.1))
+        widths = privacy_loss_intervals(outcome)
+        assert all(w == pytest.approx(0.1) for w in widths)
+
+    def test_metric_summary(self):
+        outcome = progressive_upper_bound([0.55, 0.95], 0.5, LinearPolicy(0.1))
+        loss = privacy_loss_metric([outcome])
+        assert loss.users_measured == 2
+        assert loss.min_width == pytest.approx(0.1)
+        assert loss.worst_bits == pytest.approx(math.log2(1 / 0.1))
+
+    def test_metric_empty(self):
+        outcome = progressive_upper_bound([0.1], 0.5, LinearPolicy(0.1))
+        loss = privacy_loss_metric([outcome])
+        assert loss.users_measured == 0
+
+    def test_metric_validation(self):
+        with pytest.raises(ConfigurationError):
+            privacy_loss_metric([], domain=0.0)
+
+    def test_floor_policy_limits_leak(self):
+        """With a privacy floor, no agreement interval is narrower than it."""
+        inner = SecurePolicy(UniformIncrement(0.5), AreaRequestCost(1e4), cb=1.0)
+        floored = PrivacyFloorPolicy(inner, floor=0.05)
+        values = [0.51, 0.62, 0.93]
+        outcome = progressive_upper_bound(values, 0.5, floored)
+        widths = privacy_loss_intervals(outcome)
+        assert min(widths) >= 0.05 - 1e-12
+
+    def test_floor_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyFloorPolicy(LinearPolicy(0.1), floor=0.0)
+
+    def test_floor_tradeoff_looser_bound(self):
+        """The floor buys privacy with a (weakly) looser bound."""
+        values = [0.501, 0.502, 0.503]
+        tight = progressive_upper_bound(values, 0.5, LinearPolicy(0.001))
+        floored = progressive_upper_bound(
+            values, 0.5, PrivacyFloorPolicy(LinearPolicy(0.001), floor=0.05)
+        )
+        assert floored.bound >= tight.bound
+        assert min(privacy_loss_intervals(floored)) >= 0.05 - 1e-12

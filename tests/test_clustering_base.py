@@ -1,0 +1,125 @@
+"""Tests for cluster results, the registry and involvement metering."""
+
+import pytest
+
+from repro.clustering.base import (
+    ClusterRegistry,
+    ClusterResult,
+    InvolvementMeter,
+    Partition,
+)
+from repro.errors import ClusteringError
+
+
+class TestClusterResult:
+    def test_host_must_be_member(self):
+        with pytest.raises(ClusteringError):
+            ClusterResult(host=1, members=frozenset({2, 3}), involved=0)
+
+    def test_size(self):
+        r = ClusterResult(host=1, members=frozenset({1, 2, 3}), involved=2)
+        assert r.size == 3
+        assert not r.from_cache
+
+
+class TestPartition:
+    def test_validate_good(self):
+        p = Partition(k=2, clusters=[{1, 2}, {3, 4, 5}], invalid=[{6}])
+        p.validate()
+
+    def test_validate_small_cluster(self):
+        p = Partition(k=3, clusters=[{1, 2}])
+        with pytest.raises(ClusteringError):
+            p.validate()
+
+    def test_validate_overlap(self):
+        p = Partition(k=2, clusters=[{1, 2}, {2, 3}])
+        with pytest.raises(ClusteringError):
+            p.validate()
+
+    def test_validate_invalid_piece_too_big(self):
+        p = Partition(k=2, invalid=[{1, 2, 3}])
+        with pytest.raises(ClusteringError):
+            p.validate()
+
+    def test_validate_invalid_overlapping_cluster(self):
+        p = Partition(k=2, clusters=[{1, 2}], invalid=[{2}])
+        with pytest.raises(ClusteringError):
+            p.validate()
+
+    def test_cluster_of(self):
+        p = Partition(k=2, clusters=[{1, 2}], invalid=[{9}])
+        assert p.cluster_of(1) == {1, 2}
+        assert p.cluster_of(9) is None  # invalid pieces are not clusters
+        assert p.cluster_of(42) is None
+
+    def test_covered(self):
+        p = Partition(k=2, clusters=[{1, 2}], invalid=[{9}])
+        assert p.covered == 3
+
+
+class TestClusterRegistry:
+    def test_register_and_lookup(self):
+        reg = ClusterRegistry()
+        cid = reg.register({1, 2, 3})
+        assert reg.cluster_of(2) == frozenset({1, 2, 3})
+        assert reg.cluster_by_id(cid) == frozenset({1, 2, 3})
+        assert 2 in reg
+        assert 9 not in reg
+
+    def test_register_empty_raises(self):
+        with pytest.raises(ClusteringError):
+            ClusterRegistry().register([])
+
+    def test_double_registration_violates_reciprocity(self):
+        reg = ClusterRegistry()
+        reg.register({1, 2})
+        with pytest.raises(ClusteringError):
+            reg.register({2, 3})
+
+    def test_assigned_snapshot(self):
+        reg = ClusterRegistry()
+        reg.register({1, 2})
+        snap = reg.assigned
+        reg.register({3, 4})
+        assert snap == frozenset({1, 2})
+        assert reg.assigned == frozenset({1, 2, 3, 4})
+
+    def test_assigned_view_is_live(self):
+        reg = ClusterRegistry()
+        view = reg.assigned_view()
+        reg.register({5, 6})
+        assert 5 in view
+
+    def test_check_reciprocity_passes(self):
+        reg = ClusterRegistry()
+        reg.register({1, 2})
+        reg.register({3, 4})
+        reg.check_reciprocity()
+
+    def test_len_counts_clusters(self):
+        reg = ClusterRegistry()
+        reg.register({1, 2})
+        reg.register({3, 4})
+        assert len(reg) == 2
+        assert reg.assigned_count == 4
+
+
+class TestInvolvementMeter:
+    def test_host_not_counted(self):
+        meter = InvolvementMeter(host=7)
+        meter.touch(7)
+        meter.touch(1)
+        meter.touch(1)
+        assert meter.count == 1
+        assert meter.involved == frozenset({1})
+
+    def test_touch_all(self):
+        meter = InvolvementMeter(host=0)
+        meter.touch_all([0, 1, 2, 3])
+        assert meter.count == 3
+
+    def test_callable_protocol(self):
+        meter = InvolvementMeter(host=0)
+        meter(5)
+        assert meter.count == 1

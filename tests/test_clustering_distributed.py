@@ -1,0 +1,145 @@
+"""Tests for the distributed t-connectivity k-clustering (Algorithm 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.base import ClusterRegistry
+from repro.clustering.distributed import DistributedClustering
+from repro.errors import ClusteringError, ConfigurationError
+from repro.graph.components import t_component
+from repro.graph.generators import small_world_graph
+from repro.graph.wpg import WeightedProximityGraph
+
+
+class TestBasics:
+    def test_cluster_contains_host_and_k(self, small_graph, small_config):
+        algo = DistributedClustering(small_graph, small_config.k)
+        result = algo.request(0)
+        assert 0 in result.members
+        assert result.size >= small_config.k
+        assert result.involved > 0
+        assert not result.from_cache
+
+    def test_cached_second_request(self, small_graph, small_config):
+        algo = DistributedClustering(small_graph, small_config.k)
+        first = algo.request(0)
+        member = next(iter(first.members - {0}))
+        second = algo.request(member)
+        assert second.from_cache
+        assert second.involved == 0
+        assert second.members == first.members
+
+    def test_unknown_host_raises(self, small_graph):
+        with pytest.raises(ClusteringError):
+            DistributedClustering(small_graph, 3).request(10_000)
+
+    def test_k_validation(self, small_graph):
+        with pytest.raises(ConfigurationError):
+            DistributedClustering(small_graph, 0)
+
+    def test_component_too_small_raises(self):
+        g = WeightedProximityGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ClusteringError):
+            DistributedClustering(g, 3).request(0)
+
+    def test_two_blobs_k4(self, two_blobs_graph):
+        algo = DistributedClustering(two_blobs_graph, 4)
+        result = algo.request(0)
+        assert result.members == frozenset({0, 1, 2, 3})
+
+    def test_registry_shared_across_instances(self, two_blobs_graph):
+        registry = ClusterRegistry()
+        first = DistributedClustering(two_blobs_graph, 4, registry=registry)
+        first.request(0)
+        second = DistributedClustering(two_blobs_graph, 4, registry=registry)
+        assert second.request(1).from_cache
+
+
+class TestProposeCommit:
+    def test_propose_does_not_register(self, two_blobs_graph):
+        algo = DistributedClustering(two_blobs_graph, 4)
+        proposal = algo.propose(0)
+        assert algo.registry.assigned_count == 0
+        assert 0 in proposal.members()
+
+    def test_commit_registers_all_groups(self, two_blobs_graph):
+        algo = DistributedClustering(two_blobs_graph, 4)
+        proposal = algo.propose(0)
+        result = algo.commit(proposal)
+        assert 0 in result.members
+        assert algo.registry.assigned >= proposal.members()
+
+    def test_stale_commit_rejected_cleanly(self, small_graph, small_config):
+        algo = DistributedClustering(small_graph, small_config.k)
+        proposal_a = algo.propose(0)
+        # A concurrent request claims overlapping users first.
+        overlap_host = next(iter(proposal_a.members() - {0}))
+        algo.request(overlap_host)
+        before = algo.registry.assigned_count
+        with pytest.raises(ClusteringError):
+            algo.commit(proposal_a)
+        assert algo.registry.assigned_count == before  # nothing half-done
+
+    def test_propose_for_clustered_host_raises(self, two_blobs_graph):
+        algo = DistributedClustering(two_blobs_graph, 4)
+        algo.request(0)
+        with pytest.raises(ClusteringError):
+            algo.propose(0)
+
+
+class TestWorkloadInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200), k=st.integers(2, 5))
+    def test_property_sequential_requests_consistent(self, seed, k):
+        """Serving many hosts keeps every invariant the paper requires.
+
+        Every served cluster: contains its host, has >= k members, is
+        registered for all members (reciprocity), and clusters never
+        overlap.
+        """
+        graph = small_world_graph(40, base_degree=4, rewire_probability=0.2, seed=seed)
+        algo = DistributedClustering(graph, k)
+        for host in range(0, 40, 3):
+            try:
+                result = algo.request(host)
+            except ClusteringError:
+                continue
+            assert host in result.members
+            assert result.size >= k
+        algo.registry.check_reciprocity()
+
+    def test_closure_variant_gathers_full_t_component(self, small_graph):
+        """With closure=True, the gathered set is closed under t-reach.
+
+        The host's whole t-component (at the proposal's final t) must be
+        inside the proposal's claimed membership — nothing t-reachable is
+        left outside.
+        """
+        algo = DistributedClustering(small_graph, 5, closure=True)
+        proposal = algo.propose(1)
+        gathered = proposal.members()
+        host_component = t_component(small_graph, 1, proposal.connectivity)
+        assert host_component <= gathered
+
+    def test_no_closure_gathers_less(self, small_graph):
+        """The default (paper-practical) variant gathers a smaller set."""
+        bare = DistributedClustering(small_graph, 5, closure=False).propose(1)
+        closed = DistributedClustering(small_graph, 5, closure=True).propose(1)
+        assert len(bare.members()) <= len(closed.members())
+
+    def test_exclusion_of_assigned_users(self, small_graph, small_config):
+        """New clusters never recruit already-assigned users."""
+        algo = DistributedClustering(small_graph, small_config.k)
+        first = algo.request(0)
+        fresh_host = next(
+            v for v in small_graph.vertices() if v not in algo.registry
+        )
+        second = algo.request(fresh_host)
+        assert not (first.members & second.members)
+
+    def test_connectivity_reported(self, two_blobs_graph):
+        algo = DistributedClustering(two_blobs_graph, 4)
+        result = algo.request(0)
+        # Blob A is internally 2-connected.
+        assert result.connectivity == 2.0

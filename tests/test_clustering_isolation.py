@@ -1,0 +1,116 @@
+"""Tests for cluster-isolation (Property 4.1, Theorem 4.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.centralized import strict_partition
+from repro.clustering.isolation import (
+    border_condition_holds,
+    is_cluster_isolated,
+    isolation_counterexample,
+    smallest_valid_cluster_rule,
+)
+from repro.clustering.knn import KNNClustering
+from repro.graph.generators import random_weighted_graph, small_world_graph
+from repro.graph.wpg import WeightedProximityGraph
+
+
+class TestRule:
+    def test_smallest_valid_cluster_rule(self, two_blobs_graph):
+        assert smallest_valid_cluster_rule(two_blobs_graph, 0, 4) == {0, 1, 2, 3}
+
+    def test_rule_none_when_impossible(self):
+        g = WeightedProximityGraph.from_edges([(0, 1, 1.0)])
+        assert smallest_valid_cluster_rule(g, 0, 5) is None
+
+
+class TestIsolation:
+    def test_blob_cluster_is_isolated(self, two_blobs_graph):
+        """Removing blob A leaves blob B's clusters untouched."""
+        assert is_cluster_isolated(two_blobs_graph, {0, 1, 2, 3}, 4)
+
+    def test_fig5_stranding_detected(self):
+        """Fig. 5: removing a cluster strands vertex g.
+
+        Vertex 5 only connects through the cluster {0..4}; removing the
+        cluster leaves it without any valid 2-cluster.
+        """
+        g = WeightedProximityGraph()
+        for i in range(4):
+            g.add_edge(i, i + 1, 1.0)
+        g.add_edge(0, 4, 1.0)
+        g.add_edge(2, 5, 3.0)  # the stranded vertex hangs off the cluster
+        cluster = {0, 1, 2, 3, 4}
+        assert not is_cluster_isolated(g, cluster, 2)
+        assert isolation_counterexample(g, cluster, 2) == 5
+
+    def test_witness_restriction(self, two_blobs_graph):
+        assert (
+            isolation_counterexample(
+                two_blobs_graph, {0, 1, 2, 3}, 4, witnesses=[4, 5]
+            )
+            is None
+        )
+
+    def test_knn_not_cluster_isolated(self):
+        """The paper's core criticism: kNN clusters break other vertices.
+
+        Build a line where a kNN cluster for the middle host splits the
+        rest so badly their smallest valid clusters change.
+        """
+        g = WeightedProximityGraph()
+        weights = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        for i, w in enumerate(weights):
+            g.add_edge(i, i + 1, w)
+        algo = KNNClustering(g, 3)
+        cluster = set(algo.request(3).members)
+        # Removing the middle cluster must change someone's options.
+        assert not is_cluster_isolated(g, cluster, 3)
+
+
+class TestTheorem44:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 400), k=st.integers(2, 4))
+    def test_property_border_condition_implies_isolation(self, seed, k):
+        """Theorem 4.4 as an executable statement.
+
+        For every smallest valid t-connectivity cluster (a strict
+        partition piece at its own level) whose external border vertices
+        all have valid t-clusters in the remaining WPG, removal must not
+        change any other vertex's smallest valid cluster.
+        """
+        graph = random_weighted_graph(18, edge_probability=0.25, seed=seed)
+        partition = strict_partition(graph, k)
+        for cluster in partition.clusters:
+            sub = graph.subgraph(cluster)
+            t = max((e.weight for e in sub.edges()), default=0.0)
+            if border_condition_holds(graph, cluster, t, k):
+                assert is_cluster_isolated(graph, cluster, k), (
+                    f"Theorem 4.4 violated for cluster {sorted(cluster)} "
+                    f"at t={t} (seed={seed}, k={k})"
+                )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_property_strict_partition_clusters_mutually_isolated(self, seed):
+        """Strict partition pieces are isolated w.r.t. each other.
+
+        Removing one strict cluster never changes the *partition* of the
+        rest: recomputing the strict partition on the remaining graph
+        yields exactly the other pieces.
+        """
+        k = 3
+        graph = small_world_graph(24, base_degree=4, rewire_probability=0.2, seed=seed)
+        partition = strict_partition(graph, k)
+        pieces = sorted(
+            (sorted(c) for c in partition.all_groups()), key=lambda c: c[0]
+        )
+        for removed in list(partition.clusters)[:3]:
+            rest = [v for v in graph.vertices() if v not in removed]
+            again = strict_partition(graph.subgraph(rest), k)
+            got = sorted(
+                (sorted(c) for c in again.all_groups()), key=lambda c: c[0]
+            )
+            expected = [p for p in pieces if p[0] not in removed]
+            assert got == expected

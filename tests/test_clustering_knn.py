@@ -1,0 +1,151 @@
+"""Tests for the kNN baseline and the revised tie-break variant."""
+
+import pytest
+
+from repro.clustering.base import ClusterRegistry
+from repro.clustering.knn import KNNClustering, revised_knn_cluster
+from repro.errors import ClusteringError, ConfigurationError
+from repro.graph.wpg import WeightedProximityGraph
+
+
+@pytest.fixture()
+def fig4_graph():
+    """A 6-vertex WPG in the spirit of the paper's Fig. 4.
+
+    u4 (vertex 3) has direct neighbours u3 (vertex 2, weight 1), u5
+    (vertex 4, weight 1) and u6 (vertex 5, weight 2); u5-u6 share a
+    weight-1 edge; u1-u2-u3 chain on the left.
+    """
+    g = WeightedProximityGraph()
+    g.add_edge(0, 1, 1.0)   # u1-u2
+    g.add_edge(1, 2, 2.0)   # u2-u3
+    g.add_edge(0, 2, 2.0)   # u1-u3
+    g.add_edge(2, 3, 1.0)   # u3-u4
+    g.add_edge(3, 4, 1.0)   # u4-u5
+    g.add_edge(3, 5, 2.0)   # u4-u6
+    g.add_edge(4, 5, 1.0)   # u5-u6
+    return g
+
+
+class TestPlainKNN:
+    def test_greedy_expansion_from_host(self, fig4_graph):
+        """Plain kNN takes the min-weight frontier edges, id ties first.
+
+        From u4 (vertex 3): frontier weights are u3=1, u5=1, u6=2; the
+        id tie-break picks u3 then u5 — the paper's Fig. 4(a) outcome.
+        """
+        algo = KNNClustering(fig4_graph, 3)
+        result = algo.request(3)
+        assert result.members == frozenset({2, 3, 4})
+
+    def test_cost_members_mode(self, fig4_graph):
+        algo = KNNClustering(fig4_graph, 3, cost_mode="members")
+        assert algo.request(3).involved == 2
+
+    def test_cost_explored_mode(self, fig4_graph):
+        algo = KNNClustering(fig4_graph, 3, cost_mode="explored")
+        assert algo.request(3).involved >= 2
+
+    def test_cached_request(self, fig4_graph):
+        algo = KNNClustering(fig4_graph, 3)
+        algo.request(3)
+        again = algo.request(2)
+        assert again.from_cache
+        assert again.involved == 0
+
+    def test_depleted_neighbourhood_spans_farther(self, fig4_graph):
+        """After {2,3,4} cluster, host 5 must recruit across the graph."""
+        algo = KNNClustering(fig4_graph, 3)
+        algo.request(3)
+        result = algo.request(5)
+        assert result.members == frozenset({5, 0, 1})
+
+    def test_not_enough_users_raises(self, fig4_graph):
+        algo = KNNClustering(fig4_graph, 3)
+        algo.request(3)  # consumes {2,3,4}
+        algo.request(5)  # consumes {5,0,1}
+        # Everyone clustered; a fresh graph vertex would be needed.
+        assert algo.registry.assigned_count == 6
+
+    def test_removal_traversal_fails_when_cut_off(self):
+        """With removal semantics, a walled-off host fails cleanly."""
+        g = WeightedProximityGraph()
+        # Line: 0-1-2-3-4; cluster {1,2} walls 0 off from 3,4.
+        for i in range(4):
+            g.add_edge(i, i + 1, 1.0)
+        registry = ClusterRegistry()
+        registry.register({1, 2})
+        algo = KNNClustering(g, 2, registry=registry, traversal="removal")
+        with pytest.raises(ClusteringError):
+            algo.request(0)
+
+    def test_relay_traversal_crosses_clustered_users(self):
+        g = WeightedProximityGraph()
+        for i in range(4):
+            g.add_edge(i, i + 1, 1.0)
+        registry = ClusterRegistry()
+        registry.register({1, 2})
+        algo = KNNClustering(g, 2, registry=registry, traversal="relay")
+        result = algo.request(0)
+        assert result.members == frozenset({0, 3})
+
+    def test_validation(self, fig4_graph):
+        with pytest.raises(ConfigurationError):
+            KNNClustering(fig4_graph, 0)
+        with pytest.raises(ConfigurationError):
+            KNNClustering(fig4_graph, 2, cost_mode="bananas")  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            KNNClustering(fig4_graph, 2, traversal="teleport")  # type: ignore[arg-type]
+        with pytest.raises(ClusteringError):
+            KNNClustering(fig4_graph, 2).request(99)
+
+    def test_reciprocity_maintained(self, small_graph, small_config):
+        algo = KNNClustering(small_graph, small_config.k)
+        for host in range(0, 60, 7):
+            try:
+                algo.request(host)
+            except ClusteringError:
+                continue
+        algo.registry.check_reciprocity()
+
+    def test_every_cluster_exactly_k(self, small_graph, small_config):
+        """Fresh kNN clusters have exactly k members, never more."""
+        algo = KNNClustering(small_graph, small_config.k)
+        for host in range(0, 30, 5):
+            result = algo.request(host)
+            if not result.from_cache:
+                assert result.size == small_config.k
+
+
+class TestRevisedKNN:
+    def test_degree_tie_break(self, fig4_graph):
+        """Fig. 4(b): at equal weight, the smaller-degree vertex wins.
+
+        From u4: u3 (degree 3) and u5 (degree 2) tie at weight 1 — the
+        revised variant picks u5 first, then u6 joins through the
+        weight-1 edge (u5, u6), giving {u4, u5, u6}.
+        """
+        assert revised_knn_cluster(fig4_graph, 3, 3) == {3, 4, 5}
+
+    def test_matches_paper_counterexample(self, fig4_graph):
+        """Raising (u4, u6) to weight 3 changes nothing for the revised
+        variant here (u6 still enters through u5); the *plain* algorithm
+        keeps {u3, u4, u5} either way."""
+        algo = KNNClustering(fig4_graph, 3)
+        assert algo.request(3).members == frozenset({2, 3, 4})
+
+    def test_validation(self, fig4_graph):
+        with pytest.raises(ConfigurationError):
+            revised_knn_cluster(fig4_graph, 3, 0)
+        with pytest.raises(ClusteringError):
+            revised_knn_cluster(fig4_graph, 99, 2)
+
+    def test_too_small_component_raises(self):
+        g = WeightedProximityGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ClusteringError):
+            revised_knn_cluster(g, 0, 3)
+
+    def test_contains_host_and_k_members(self, small_graph):
+        cluster = revised_knn_cluster(small_graph, 5, 6)
+        assert 5 in cluster
+        assert len(cluster) == 6

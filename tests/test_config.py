@@ -1,0 +1,64 @@
+"""Tests for the Table I configuration object."""
+
+import pytest
+
+from repro.config import DEFAULTS, SimulationConfig
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        assert DEFAULTS.user_count == 104_770
+        assert DEFAULTS.delta == 2e-3
+        assert DEFAULTS.max_peers == 10
+        assert DEFAULTS.k == 10
+        assert DEFAULTS.bounding_cost == 1.0
+        assert DEFAULTS.request_cost == 1000.0
+        assert DEFAULTS.request_count == 2_000
+
+    def test_uniform_bound_formula(self):
+        assert DEFAULTS.uniform_bound_u(10) == pytest.approx(10 / 104_770)
+
+    def test_initial_bound_equals_u(self):
+        assert DEFAULTS.initial_bound(25) == DEFAULTS.uniform_bound_u(25)
+
+    def test_uniform_bound_rejects_empty_cluster(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULTS.uniform_bound_u(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("user_count", 0),
+            ("delta", 0.0),
+            ("delta", -1.0),
+            ("max_peers", 0),
+            ("k", 0),
+            ("bounding_cost", 0.0),
+            ("request_cost", -5.0),
+            ("request_count", 0),
+        ],
+    )
+    def test_out_of_domain_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**{field: value})
+
+    def test_k_larger_than_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(user_count=5, k=6)
+
+    def test_with_overrides_returns_new(self):
+        base = SimulationConfig()
+        changed = base.with_overrides(k=25)
+        assert changed.k == 25
+        assert base.k == 10
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig().with_overrides(k=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SimulationConfig().k = 3  # type: ignore[misc]

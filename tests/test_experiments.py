@@ -1,0 +1,152 @@
+"""Tests for the experiment harness and figure runners (small scale)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig9_degree import run_fig9
+from repro.experiments.fig10_total_cost import run_fig10
+from repro.experiments.fig11_k import run_fig11
+from repro.experiments.fig12_requests import run_fig12
+from repro.experiments.fig13_bounding import run_fig13
+from repro.experiments.harness import (
+    ALGORITHMS,
+    ExperimentSetup,
+    run_clustering_workload,
+)
+from repro.experiments.tables import table1_text
+from repro.experiments.workloads import clusterable_users, sample_hosts
+from repro.server.poidb import POIDatabase
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return ExperimentSetup.paper_default(users=4000, requests=60)
+
+
+@pytest.fixture(scope="module")
+def default_graph(setup):
+    return setup.graph(setup.base_config)
+
+
+class TestWorkloads:
+    def test_clusterable_users_component_sizes(self, default_graph):
+        eligible = set(clusterable_users(default_graph, 10))
+        from repro.graph.components import connected_component
+
+        for user in list(eligible)[:20]:
+            assert len(connected_component(default_graph, user)) >= 10
+
+    def test_sample_hosts_distinct_and_eligible(self, default_graph):
+        hosts = sample_hosts(default_graph, 10, 50, seed=1)
+        assert len(set(hosts)) == 50
+        assert set(hosts) <= set(clusterable_users(default_graph, 10))
+
+    def test_sample_hosts_reproducible(self, default_graph):
+        assert sample_hosts(default_graph, 10, 30, seed=5) == sample_hosts(
+            default_graph, 10, 30, seed=5
+        )
+
+    def test_sample_too_many_raises(self, default_graph):
+        with pytest.raises(ConfigurationError):
+            sample_hosts(default_graph, 10, 10**7, seed=0)
+
+
+class TestSetup:
+    def test_delta_scaled_below_full_population(self, setup):
+        assert setup.base_config.delta == pytest.approx(
+            2e-3 * math.sqrt(104770 / 4000)
+        )
+
+    def test_graph_cache(self, setup):
+        g1 = setup.graph(setup.base_config)
+        g2 = setup.graph(setup.base_config)
+        assert g1 is g2
+
+    def test_partition_cache(self, setup, default_graph):
+        p1 = setup.whole_partition(default_graph, 10)
+        p2 = setup.whole_partition(default_graph, 10)
+        assert p1 is p2
+
+    def test_unknown_algorithm(self, setup, default_graph):
+        with pytest.raises(ConfigurationError):
+            setup.service("simulated-annealing", default_graph, 5)  # type: ignore[arg-type]
+
+
+class TestWorkloadRun:
+    def test_metrics_for_each_algorithm(self, setup, default_graph):
+        hosts = sample_hosts(default_graph, 10, 40, seed=2)
+        for algorithm in ALGORITHMS:
+            result = run_clustering_workload(
+                setup, algorithm, setup.base_config, hosts, graph=default_graph
+            )
+            assert result.served + result.failures == len(hosts)
+            if result.served:
+                assert result.avg_comm_cost >= 0
+                assert result.avg_cloaked_area > 0
+            for cluster in result.clusters:
+                assert len(cluster) >= setup.base_config.k
+
+    def test_poi_counts_when_db_given(self, setup, default_graph):
+        hosts = sample_hosts(default_graph, 10, 20, seed=3)
+        db = POIDatabase(setup.dataset)
+        result = run_clustering_workload(
+            setup, "t-conn", setup.base_config, hosts, graph=default_graph, db=db
+        )
+        assert len(result.per_request_pois) == result.served
+        # A k-cluster's box contains at least its k members (users = POIs).
+        assert all(p >= setup.base_config.k for p in result.per_request_pois)
+
+
+class TestFigureRunners:
+    def test_fig9_structure_and_shape(self, setup):
+        result = run_fig9(setup, m_values=(4, 16), requests=40, seed=7)
+        assert result.m_values == (4, 16)
+        assert result.avg_degrees[0] < result.avg_degrees[1]
+        costs = result.comm_cost_series()
+        # Centralized pays |D|/S and must dominate; kNN must be cheapest.
+        assert costs["centralized t-conn"][0] > costs["t-conn"][0]
+        assert costs["knn"][0] < costs["t-conn"][0]
+        assert "Fig 9(a)" in result.format()
+
+    def test_fig10_series(self, setup):
+        result = run_fig10(setup, ratios=(0, 10), requests=40, seed=7)
+        series = result.total_cost_series()
+        for curve in series.values():
+            assert curve[0] < curve[1]  # more POI content costs more
+        assert "Fig 10" in result.format()
+
+    def test_fig11_knn_cost_linear_in_k(self, setup):
+        result = run_fig11(setup, k_values=(5, 15), requests=40, seed=7)
+        knn_costs = result.comm_cost_series()["knn"]
+        assert knn_costs[1] > knn_costs[0]
+        assert "Fig 11(b)" in result.format()
+
+    def test_fig12_tconn_cost_drops_with_s(self, setup):
+        result = run_fig12(setup, s_values=(30, 120), seed=7)
+        tconn = result.comm_cost_series()["t-conn"]
+        central = result.comm_cost_series()["centralized t-conn"]
+        assert tconn[1] < tconn[0]
+        assert central[1] == pytest.approx(central[0] / 4, rel=0.01)
+        assert "Fig 12(a)" in result.format()
+
+    def test_fig13_policy_orderings(self, setup):
+        result = run_fig13(setup, k_values=(5,), requests=30, seed=7)
+        cells = {policy: runs[0] for policy, runs in result.cells.items()}
+        # Bounds always valid: every policy's request >= optimal's.
+        for policy in ("linear", "exponential", "secure"):
+            assert cells[policy].avg_request_ratio >= 1.0 - 1e-9
+        # The aggressive policy is loosest; the conservative one tightest.
+        assert cells["exponential"].avg_request_ratio >= cells["linear"].avg_request_ratio
+        # Secure's total does not exceed the other progressives'.
+        assert cells["secure"].avg_total_cost <= cells["linear"].avg_total_cost + 1e-9
+        assert cells["secure"].avg_total_cost <= cells["exponential"].avg_total_cost + 1e-9
+        assert "Fig 13(d)" in result.format()
+
+
+class TestTable1:
+    def test_contains_all_parameters(self):
+        text = table1_text()
+        for needle in ("104770", "0.002", "1000", "2000", "delta", "Cb", "Cr"):
+            assert needle in text

@@ -1,0 +1,74 @@
+"""Unit tests for repro.geometry.distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    chebyshev,
+    diameter,
+    euclidean,
+    euclidean_squared,
+    manhattan,
+    pairwise_euclidean,
+)
+from repro.geometry.point import Point
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+def test_euclidean_345():
+    assert euclidean(Point(0, 0), Point(3, 4)) == 5.0
+
+
+def test_euclidean_squared():
+    assert euclidean_squared(Point(0, 0), Point(3, 4)) == 25.0
+
+
+def test_manhattan():
+    assert manhattan(Point(1, 1), Point(-2, 5)) == 7.0
+
+
+def test_chebyshev():
+    assert chebyshev(Point(0, 0), Point(3, -7)) == 7.0
+
+
+@given(points, points)
+def test_metric_ordering(a, b):
+    """Chebyshev <= Euclidean <= Manhattan for any pair."""
+    assert chebyshev(a, b) <= euclidean(a, b) + 1e-9
+    assert euclidean(a, b) <= manhattan(a, b) + 1e-9
+
+
+def test_pairwise_matrix_matches_scalar():
+    pts = [Point(0, 0), Point(1, 0), Point(0, 2)]
+    matrix = pairwise_euclidean(pts)
+    for i, a in enumerate(pts):
+        for j, b in enumerate(pts):
+            assert matrix[i, j] == pytest.approx(euclidean(a, b))
+
+
+def test_pairwise_empty():
+    assert pairwise_euclidean([]).shape == (0, 0)
+
+
+def test_pairwise_symmetric_zero_diagonal():
+    pts = [Point(0.1 * i, 0.05 * i * i) for i in range(6)]
+    matrix = pairwise_euclidean(pts)
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 0.0)
+
+
+def test_diameter_small_sets():
+    assert diameter([]) == 0.0
+    assert diameter([Point(1, 1)]) == 0.0
+    assert diameter([Point(0, 0), Point(3, 4)]) == 5.0
+
+
+def test_diameter_is_max_pairwise():
+    pts = [Point(0, 0), Point(1, 0), Point(0.5, 3)]
+    assert diameter(pts) == pytest.approx(max(
+        euclidean(a, b) for a in pts for b in pts
+    ))

@@ -1,0 +1,82 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestBasics:
+    def test_fields(self):
+        p = Point(0.25, 0.75)
+        assert p.x == 0.25
+        assert p.y == 0.75
+
+    def test_iteration_unpacks(self):
+        x, y = Point(1.0, 2.0)
+        assert (x, y) == (1.0, 2.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.0).as_tuple() == (1.5, -2.0)
+
+    def test_hashable_and_equal(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert len({Point(1.0, 2.0), Point(1.0, 2.0)}) == 1
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0.0, 0.0).x = 1.0  # type: ignore[misc]
+
+
+class TestDistances:
+    def test_distance_345(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(0.0, 0.0).squared_distance_to(Point(3.0, 4.0)) == 25.0
+
+    def test_manhattan(self):
+        assert Point(0.0, 0.0).manhattan_distance_to(Point(3.0, -4.0)) == 7.0
+
+    def test_distance_to_self_zero(self):
+        p = Point(0.3, 0.9)
+        assert p.distance_to(p) == 0.0
+
+    @given(points, points)
+    def test_symmetry(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points, points)
+    def test_squared_consistent_with_distance(self, a, b):
+        assert math.sqrt(a.squared_distance_to(b)) == pytest.approx(
+            a.distance_to(b), rel=1e-9, abs=1e-12
+        )
+
+
+class TestOperations:
+    def test_translated(self):
+        assert Point(1.0, 1.0).translated(0.5, -1.0) == Point(1.5, 0.0)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(2.0, 4.0)) == Point(1.0, 2.0)
+
+    def test_coordinate_axes(self):
+        p = Point(1.0, 2.0)
+        assert p.coordinate(0) == 1.0
+        assert p.coordinate(1) == 2.0
+
+    def test_coordinate_bad_axis(self):
+        with pytest.raises(ValueError):
+            Point(0.0, 0.0).coordinate(2)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points = st.builds(Point, coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=20)
+
+
+def rects():
+    return st.builds(
+        lambda x1, x2, y1, y2: Rect(min(x1, x2), max(x1, x2), min(y1, y2), max(y1, y2)),
+        coords, coords, coords, coords,
+    )
+
+
+class TestConstruction:
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_degenerate_allowed(self):
+        r = Rect(0.5, 0.5, 0.0, 1.0)
+        assert r.area == 0.0
+        assert r.width == 0.0
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(0.5, 0.5), 0.2, 0.4)
+        assert r.x_min == pytest.approx(0.4)
+        assert r.y_max == pytest.approx(0.7)
+
+    def test_from_center_negative_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), -1.0, 1.0)
+
+    def test_unit_square(self):
+        assert Rect.unit_square().area == 1.0
+
+    @given(point_lists)
+    def test_from_points_contains_all(self, pts):
+        box = Rect.from_points(pts)
+        assert all(box.contains(p) for p in pts)
+
+    @given(point_lists)
+    def test_from_points_is_tight(self, pts):
+        box = Rect.from_points(pts)
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        assert box.x_min == min(xs) and box.x_max == max(xs)
+        assert box.y_min == min(ys) and box.y_max == max(ys)
+
+
+class TestMeasures:
+    def test_area_perimeter(self):
+        r = Rect(0.0, 2.0, 0.0, 3.0)
+        assert r.area == 6.0
+        assert r.perimeter == 10.0
+
+    def test_center(self):
+        assert Rect(0.0, 2.0, 0.0, 4.0).center == Point(1.0, 2.0)
+
+    def test_diagonal(self):
+        assert Rect(0.0, 3.0, 0.0, 4.0).diagonal == 5.0
+
+
+class TestPredicates:
+    def test_contains_boundary(self):
+        r = Rect(0.0, 1.0, 0.0, 1.0)
+        assert r.contains(Point(0.0, 0.0))
+        assert r.contains(Point(1.0, 1.0))
+        assert not r.contains(Point(1.0001, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 1.0, 0.0, 1.0)
+        assert outer.contains_rect(Rect(0.2, 0.8, 0.2, 0.8))
+        assert not outer.contains_rect(Rect(0.2, 1.2, 0.2, 0.8))
+
+    def test_intersects_touching_edges(self):
+        a = Rect(0.0, 1.0, 0.0, 1.0)
+        b = Rect(1.0, 2.0, 0.0, 1.0)
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rect(0.0, 1.0, 0.0, 1.0)
+        b = Rect(1.5, 2.0, 0.0, 1.0)
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+
+class TestCombinators:
+    def test_union_covers_both(self):
+        a = Rect(0.0, 1.0, 0.0, 1.0)
+        b = Rect(2.0, 3.0, -1.0, 0.5)
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+    def test_expanded(self):
+        r = Rect(0.0, 1.0, 0.0, 1.0).expanded(0.5)
+        assert r == Rect(-0.5, 1.5, -0.5, 1.5)
+
+    def test_expanded_negative_too_big_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 0.0, 1.0).expanded(-0.6)
+
+    def test_clipped_to(self):
+        r = Rect(-0.5, 1.5, 0.2, 0.8).clipped_to(Rect.unit_square())
+        assert r == Rect(0.0, 1.0, 0.2, 0.8)
+
+    def test_clipped_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 3.0, 2.0, 3.0).clipped_to(Rect.unit_square())
+
+    def test_min_distance_inside_zero(self):
+        assert Rect(0.0, 1.0, 0.0, 1.0).min_distance_to(Point(0.5, 0.5)) == 0.0
+
+    def test_min_distance_corner(self):
+        assert Rect(0.0, 1.0, 0.0, 1.0).min_distance_to(Point(4.0, 5.0)) == 5.0

@@ -1,0 +1,143 @@
+"""Tests for connectivity, t-reachability and Theorem 4.3's properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.components import (
+    connected_component,
+    connected_components,
+    external_border,
+    is_connected,
+    t_component,
+    t_connected,
+)
+from repro.graph.generators import random_weighted_graph
+from repro.graph.wpg import WeightedProximityGraph
+
+
+@pytest.fixture()
+def weighted_path():
+    """0 -1- 1 -5- 2 -2- 3 (weights on edges)."""
+    g = WeightedProximityGraph()
+    g.add_edge(0, 1, 1.0)
+    g.add_edge(1, 2, 5.0)
+    g.add_edge(2, 3, 2.0)
+    return g
+
+
+class TestTComponent:
+    def test_threshold_cuts_heavy_edges(self, weighted_path):
+        assert t_component(weighted_path, 0, t=1.0) == {0, 1}
+        assert t_component(weighted_path, 0, t=4.9) == {0, 1}
+        assert t_component(weighted_path, 0, t=5.0) == {0, 1, 2, 3}
+
+    def test_exclude(self, weighted_path):
+        assert t_component(weighted_path, 0, t=5.0, exclude={1}) == {0}
+
+    def test_excluded_start_raises(self, weighted_path):
+        with pytest.raises(GraphError):
+            t_component(weighted_path, 0, t=1.0, exclude={0})
+
+    def test_size_limit_early_exit(self, weighted_path):
+        part = t_component(weighted_path, 0, t=5.0, size_limit=2)
+        assert len(part) >= 2
+        assert part <= {0, 1, 2, 3}
+
+    def test_spy_sees_expanded_vertices(self, weighted_path):
+        seen = []
+        t_component(weighted_path, 0, t=5.0, spy=seen.append)
+        assert set(seen) == {0, 1, 2, 3}
+
+
+class TestTConnectedEquivalence:
+    """Theorem 4.3: t-connected is an equivalence relation."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return random_weighted_graph(25, edge_probability=0.15, seed=4)
+
+    def test_reflexive(self, graph):
+        assert all(t_connected(graph, v, v, t=0.0) for v in graph.vertices())
+
+    def test_symmetric(self, graph):
+        vertices = list(graph.vertices())
+        for a in vertices[:8]:
+            for b in vertices[:8]:
+                for t in (2.0, 5.0, 10.0):
+                    assert t_connected(graph, a, b, t) == t_connected(graph, b, a, t)
+
+    def test_transitive(self, graph):
+        vertices = list(graph.vertices())[:8]
+        for t in (3.0, 7.0):
+            for a in vertices:
+                for b in vertices:
+                    for c in vertices:
+                        if t_connected(graph, a, b, t) and t_connected(graph, b, c, t):
+                            assert t_connected(graph, a, c, t)
+
+    def test_classes_partition(self, graph):
+        """The equivalence classes at any t partition the vertex set."""
+        for t in (1.0, 4.0, 8.0):
+            seen: set[int] = set()
+            for v in graph.vertices():
+                if v in seen:
+                    continue
+                cls = t_component(graph, v, t)
+                assert not (cls & seen)
+                seen |= cls
+            assert seen == set(graph.vertices())
+
+    def test_monotone_in_t(self, graph):
+        for v in list(graph.vertices())[:10]:
+            prev: set[int] = set()
+            for t in (1.0, 3.0, 5.0, 8.0, 10.0):
+                cur = t_component(graph, v, t)
+                assert prev <= cur
+                prev = cur
+
+
+class TestComponents:
+    def test_connected_components_cover(self):
+        g = WeightedProximityGraph.from_edges(
+            [(0, 1, 1.0), (2, 3, 1.0)], vertices=[4]
+        )
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [[0, 1], [2, 3], [4]]
+
+    def test_is_connected(self, weighted_path):
+        assert is_connected(weighted_path)
+        weighted_path.remove_edge(1, 2)
+        assert not is_connected(weighted_path)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(WeightedProximityGraph())
+
+    def test_connected_component_with_exclusion(self, weighted_path):
+        assert connected_component(weighted_path, 3, exclude={2}) == {3}
+
+
+class TestExternalBorder:
+    def test_border_of_cluster(self, weighted_path):
+        assert external_border(weighted_path, {0, 1}, {0, 1}) == {2}
+
+    def test_border_of_everything_is_empty(self, weighted_path):
+        full = {0, 1, 2, 3}
+        assert external_border(weighted_path, full, full) == set()
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 1000), t=st.floats(min_value=0.5, max_value=10.5))
+def test_property_t_component_edges_bounded(seed, t):
+    """Inside any t-component reached via BFS, the spanning path exists.
+
+    Every member of t_component(v) must be t-connected to v per the
+    pairwise definition — BFS and the definitional check must agree.
+    """
+    graph = random_weighted_graph(15, edge_probability=0.25, seed=seed)
+    component = t_component(graph, 0, t)
+    for member in component:
+        assert t_connected(graph, 0, member, t)
+    for outsider in set(graph.vertices()) - component:
+        assert not t_connected(graph, 0, outsider, t)

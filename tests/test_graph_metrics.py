@@ -1,0 +1,160 @@
+"""Tests for graph metrics and Corollary 4.2's diameter bound."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    path_graph,
+    random_regular_graph,
+    random_weighted_graph,
+    small_world_graph,
+)
+from repro.graph.metrics import (
+    average_degree,
+    graph_diameter,
+    max_edge_weight,
+    regular_graph_diameter_bound,
+    shortest_path_lengths,
+)
+from repro.graph.wpg import WeightedProximityGraph
+
+
+class TestBasicMetrics:
+    def test_average_degree_empty(self):
+        assert average_degree(WeightedProximityGraph()) == 0.0
+
+    def test_average_degree_triangle(self):
+        g = WeightedProximityGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]
+        )
+        assert average_degree(g) == 2.0
+
+    def test_max_edge_weight(self):
+        g = path_graph([3.0, 7.0, 2.0])
+        assert max_edge_weight(g) == 7.0
+
+    def test_max_edge_weight_subset(self):
+        g = path_graph([3.0, 7.0, 2.0])
+        assert max_edge_weight(g, vertices=[2, 3]) == 2.0
+
+    def test_max_edge_weight_edgeless(self):
+        g = WeightedProximityGraph()
+        g.add_vertex(0)
+        assert max_edge_weight(g) == 0.0
+
+
+class TestShortestPaths:
+    def test_path_distances(self):
+        g = path_graph([1.0, 2.0, 4.0])
+        dist = shortest_path_lengths(g, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 3.0, 3: 7.0}
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(GraphError):
+            shortest_path_lengths(WeightedProximityGraph(), 0)
+
+    def test_unreachable_vertices_absent(self):
+        g = WeightedProximityGraph.from_edges([(0, 1, 1.0)], vertices=[2])
+        assert 2 not in shortest_path_lengths(g, 0)
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert graph_diameter(path_graph([1.0, 2.0, 4.0])) == 7.0
+
+    def test_single_vertex(self):
+        g = WeightedProximityGraph()
+        g.add_vertex(0)
+        assert graph_diameter(g) == 0.0
+
+    def test_disconnected_is_infinite(self):
+        g = WeightedProximityGraph.from_edges([(0, 1, 1.0)], vertices=[2])
+        assert graph_diameter(g) == math.inf
+
+    def test_subset_diameter(self):
+        g = path_graph([1.0, 2.0, 4.0])
+        assert graph_diameter(g, vertices=[0, 1, 2]) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(GraphError):
+            graph_diameter(WeightedProximityGraph())
+
+
+class TestCorollary42:
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            regular_graph_diameter_bound(1, 3, 1.0)
+        with pytest.raises(GraphError):
+            regular_graph_diameter_bound(10, 2, 1.0)
+        with pytest.raises(GraphError):
+            regular_graph_diameter_bound(10, 3, 1.0, epsilon=0.0)
+        with pytest.raises(GraphError):
+            regular_graph_diameter_bound(10, 3, -1.0)
+
+    def test_scales_linearly_with_weight(self):
+        b1 = regular_graph_diameter_bound(20, 4, 1.0)
+        b5 = regular_graph_diameter_bound(20, 4, 5.0)
+        assert b5 == pytest.approx(5 * b1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        degree=st.integers(3, 6),
+        k=st.sampled_from([10, 16, 24]),
+    )
+    def test_property_bound_holds_on_random_regular(self, seed, degree, k):
+        """Corollary 4.2: actual weighted diameter <= the bound.
+
+        The underlying theorem is asymptotic/probabilistic, but at these
+        sizes the bound is loose enough to hold essentially always; a
+        disconnected sample (pairing model occasionally fragments) is
+        skipped.
+        """
+        if (k * degree) % 2:
+            k += 1
+        graph = random_regular_graph(k, degree, max_weight=7, seed=seed)
+        diameter = graph_diameter(graph)
+        if math.isinf(diameter):
+            pytest.skip("sampled graph disconnected")
+        bound = regular_graph_diameter_bound(k, degree, max_edge_weight(graph))
+        assert diameter <= bound
+
+
+class TestGenerators:
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(12, 4, seed=1)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_random_regular_odd_product_raises(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    def test_small_world_param_validation(self):
+        with pytest.raises(GraphError):
+            small_world_graph(10, base_degree=3)
+        with pytest.raises(GraphError):
+            small_world_graph(4, base_degree=4)
+        with pytest.raises(GraphError):
+            small_world_graph(10, base_degree=4, rewire_probability=1.5)
+
+    def test_small_world_vertex_count(self):
+        g = small_world_graph(20, base_degree=4, seed=2)
+        assert g.vertex_count == 20
+        assert g.edge_count > 0
+
+    def test_random_weighted_probability_extremes(self):
+        empty = random_weighted_graph(10, edge_probability=0.0)
+        full = random_weighted_graph(10, edge_probability=1.0)
+        assert empty.edge_count == 0
+        assert full.edge_count == 45
+
+    def test_generators_reproducible(self):
+        a = random_weighted_graph(15, 0.3, seed=5)
+        b = random_weighted_graph(15, 0.3, seed=5)
+        assert sorted((e.key(), e.weight) for e in a.edges()) == sorted(
+            (e.key(), e.weight) for e in b.edges()
+        )

@@ -1,0 +1,160 @@
+"""Tests for the WPG data structure and union-find."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.unionfind import UnionFind
+from repro.graph.wpg import Edge, WeightedProximityGraph
+
+
+class TestEdge:
+    def test_make_normalises(self):
+        e = Edge.make(5, 2, 1.5)
+        assert (e.u, e.v) == (2, 5)
+
+    def test_self_loop_raises(self):
+        with pytest.raises(GraphError):
+            Edge.make(3, 3, 1.0)
+
+    def test_other(self):
+        e = Edge.make(1, 2, 1.0)
+        assert e.other(1) == 2
+        assert e.other(2) == 1
+        with pytest.raises(GraphError):
+            e.other(9)
+
+
+class TestGraphBasics:
+    def test_add_edge_creates_vertices(self):
+        g = WeightedProximityGraph()
+        g.add_edge(1, 2, 3.0)
+        assert 1 in g and 2 in g
+        assert g.vertex_count == 2
+        assert g.edge_count == 1
+
+    def test_weight_symmetric(self):
+        g = WeightedProximityGraph()
+        g.add_edge(1, 2, 3.0)
+        assert g.weight(1, 2) == g.weight(2, 1) == 3.0
+
+    def test_readd_same_weight_is_noop(self):
+        g = WeightedProximityGraph()
+        g.add_edge(1, 2, 3.0)
+        g.add_edge(2, 1, 3.0)
+        assert g.edge_count == 1
+
+    def test_readd_different_weight_raises(self):
+        g = WeightedProximityGraph()
+        g.add_edge(1, 2, 3.0)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 4.0)
+
+    def test_self_loop_raises(self):
+        g = WeightedProximityGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 1.0)
+
+    def test_remove_edge(self):
+        g = WeightedProximityGraph()
+        g.add_edge(1, 2, 3.0)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.edge_count == 0
+        assert 1 in g  # vertices survive
+
+    def test_remove_missing_raises(self):
+        g = WeightedProximityGraph()
+        g.add_vertex(1)
+        g.add_vertex(2)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 2)
+
+    def test_unknown_vertex_queries_raise(self):
+        g = WeightedProximityGraph()
+        with pytest.raises(GraphError):
+            list(g.neighbors(1))
+        with pytest.raises(GraphError):
+            g.degree(1)
+        with pytest.raises(GraphError):
+            g.weight(1, 2)
+
+    def test_edges_reported_once(self):
+        g = WeightedProximityGraph.from_edges([(1, 2, 1.0), (2, 3, 2.0)])
+        keys = sorted(e.key() for e in g.edges())
+        assert keys == [(1, 2), (2, 3)]
+
+    def test_adjacency_message_is_copy(self):
+        g = WeightedProximityGraph.from_edges([(1, 2, 1.0)])
+        msg = g.adjacency_message(1)
+        msg[99] = 5.0
+        assert not g.has_edge(1, 99)
+        assert g.adjacency_message(1) == {2: 1.0}
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = WeightedProximityGraph.from_edges([(1, 2, 1.0)], vertices=[7])
+        assert 7 in g
+        assert g.degree(7) == 0
+
+
+class TestDerivedGraphs:
+    @pytest.fixture()
+    def triangle_plus(self):
+        return WeightedProximityGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 3.0), (2, 3, 4.0)]
+        )
+
+    def test_subgraph_keeps_internal_edges_only(self, triangle_plus):
+        sub = triangle_plus.subgraph([0, 1, 2])
+        assert sub.edge_count == 3
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_unknown_vertex_raises(self, triangle_plus):
+        with pytest.raises(GraphError):
+            triangle_plus.subgraph([0, 99])
+
+    def test_copy_is_independent(self, triangle_plus):
+        clone = triangle_plus.copy()
+        clone.remove_edge(0, 1)
+        assert triangle_plus.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind([1, 2, 3])
+        assert not uf.connected(1, 2)
+        assert uf.component_size(1) == 1
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union(1, 2) is True
+        assert uf.union(1, 2) is False
+        assert uf.connected(1, 2)
+        assert uf.component_size(2) == 2
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.union(2, 3)
+        assert uf.connected(1, 4)
+        assert uf.component_size(1) == 4
+
+    def test_components(self):
+        uf = UnionFind([5])
+        uf.union(1, 2)
+        uf.union(3, 4)
+        groups = sorted(sorted(g) for g in uf.components().values())
+        assert groups == [[1, 2], [3, 4], [5]]
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert "a" in uf
+
+    def test_union_chain_sizes(self):
+        uf = UnionFind()
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.component_size(0) == 10
+        assert len(uf.components()) == 1

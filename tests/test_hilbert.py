@@ -1,0 +1,169 @@
+"""Tests for the Hilbert curve substrate and the hilbASR baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.hilbert_asr import HilbertASRClustering, _buckets_of_k
+from repro.datasets import uniform_points
+from repro.errors import ClusteringError, ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.spatial.hilbert import hilbert_cell, hilbert_index, point_to_index
+
+
+class TestHilbertCurve:
+    def test_order1_square(self):
+        """The order-1 curve visits the four cells in the canonical order."""
+        visited = [hilbert_cell(i, order=1) for i in range(4)]
+        assert visited == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_index_inverts_cell(self):
+        for order in (1, 2, 3, 5):
+            side = 1 << order
+            for index in range(side * side):
+                x, y = hilbert_cell(index, order)
+                assert hilbert_index(x, y, order) == index
+
+    def test_bijection_order3(self):
+        cells = {hilbert_cell(i, order=3) for i in range(64)}
+        assert len(cells) == 64
+
+    def test_locality_consecutive_cells_adjacent(self):
+        """Consecutive curve positions are 4-neighbour grid cells."""
+        for order in (2, 4, 6):
+            side = 1 << order
+            prev = hilbert_cell(0, order)
+            for index in range(1, side * side):
+                cur = hilbert_cell(index, order)
+                assert abs(cur[0] - prev[0]) + abs(cur[1] - prev[1]) == 1
+                prev = cur
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        order=st.integers(1, 12),
+        data=st.data(),
+    )
+    def test_property_roundtrip(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(0, side - 1))
+        y = data.draw(st.integers(0, side - 1))
+        assert hilbert_cell(hilbert_index(x, y, order), order) == (x, y)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hilbert_index(0, 0, order=0)
+        with pytest.raises(ConfigurationError):
+            hilbert_index(5, 0, order=1)
+        with pytest.raises(ConfigurationError):
+            hilbert_cell(-1, order=2)
+        with pytest.raises(ConfigurationError):
+            hilbert_cell(64, order=3)
+
+    def test_point_to_index_clamps(self):
+        assert point_to_index(Point(1.0, 1.0), order=4) == point_to_index(
+            Point(0.999, 0.999), order=4
+        )
+        assert point_to_index(Point(-0.5, 0.0), order=4) == point_to_index(
+            Point(0.0, 0.0), order=4
+        )
+
+    def test_nearby_points_nearby_indexes(self):
+        """Curve locality on real coordinates: a tight pair of points maps
+        to closer curve positions than a far pair, overwhelmingly."""
+        wins = 0
+        for i in range(50):
+            base = Point(0.1 + 0.015 * i, 0.3 + 0.01 * i)
+            near = Point(base.x + 1e-4, base.y)
+            far = Point((base.x + 0.43) % 1.0, (base.y + 0.39) % 1.0)
+            d_near = abs(point_to_index(base) - point_to_index(near))
+            d_far = abs(point_to_index(base) - point_to_index(far))
+            if d_near < d_far:
+                wins += 1
+        assert wins >= 45
+
+
+class TestBuckets:
+    def test_exact_multiples(self):
+        assert _buckets_of_k(list(range(6)), 3) == [[0, 1, 2], [3, 4, 5]]
+
+    def test_leftover_merges_into_last(self):
+        buckets = _buckets_of_k(list(range(7)), 3)
+        assert buckets == [[0, 1, 2], [3, 4, 5, 6]]
+
+    def test_all_buckets_at_least_k(self):
+        for n in range(5, 40):
+            for k in range(2, 6):
+                buckets = _buckets_of_k(list(range(n)), k)
+                assert all(len(b) >= k for b in buckets)
+                assert sorted(sum(buckets, [])) == list(range(n))
+
+
+class TestHilbertASR:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return uniform_points(200, seed=23)
+
+    def test_first_request_pays_for_all(self, dataset):
+        algo = HilbertASRClustering(dataset, 10)
+        result = algo.request(0)
+        assert result.involved == 199
+        assert result.size >= 10
+
+    def test_later_requests_cached(self, dataset):
+        algo = HilbertASRClustering(dataset, 10)
+        algo.request(0)
+        later = algo.request(57)
+        assert later.from_cache
+        assert later.involved == 0
+
+    def test_everyone_covered_reciprocally(self, dataset):
+        algo = HilbertASRClustering(dataset, 10)
+        algo.request(0)
+        assert algo.registry.assigned_count == len(dataset)
+        algo.registry.check_reciprocity()
+
+    def test_buckets_are_compact(self, dataset):
+        """Curve locality: the average bucket box is far smaller than the
+        unit square (each of the 20 buckets covers ~1/20 of the users)."""
+        algo = HilbertASRClustering(dataset, 10)
+        algo.request(0)
+        seen = set()
+        areas = []
+        for user in range(len(dataset)):
+            cluster = algo.registry.cluster_of(user)
+            if cluster in seen:
+                continue
+            seen.add(cluster)
+            areas.append(Rect.from_points([dataset[i] for i in cluster]).area)
+        assert sum(areas) / len(areas) < 0.1
+
+    def test_start_offset_changes_buckets(self, dataset):
+        plain = HilbertASRClustering(dataset, 10)
+        shifted = HilbertASRClustering(dataset, 10, start_offset=5)
+        plain.request(0)
+        shifted.request(0)
+        assert plain.registry.cluster_of(0) != shifted.registry.cluster_of(0)
+
+    def test_validation(self, dataset):
+        with pytest.raises(ConfigurationError):
+            HilbertASRClustering(dataset, 0)
+        with pytest.raises(ConfigurationError):
+            HilbertASRClustering(dataset, 201)
+        with pytest.raises(ConfigurationError):
+            HilbertASRClustering(dataset, 5, start_offset=-1)
+        with pytest.raises(ClusteringError):
+            HilbertASRClustering(dataset, 5).request(999)
+
+    def test_harness_integration(self):
+        from repro.experiments.harness import ExperimentSetup, run_clustering_workload
+        from repro.experiments.workloads import sample_hosts
+
+        setup = ExperimentSetup.paper_default(users=2000, requests=30)
+        graph = setup.graph(setup.base_config)
+        hosts = sample_hosts(graph, 10, 30, seed=1)
+        result = run_clustering_workload(
+            setup, "hilbert-asr", setup.base_config, hosts, graph=graph
+        )
+        assert result.served == 30
+        assert result.avg_cloaked_area > 0

@@ -1,0 +1,101 @@
+"""Tests for the mobility model and region-lifetime analysis."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.datasets import uniform_points
+from repro.errors import ConfigurationError
+from repro.mobility.lifetime import run_region_lifetime
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+@pytest.fixture()
+def walkers():
+    return RandomWaypointModel(
+        uniform_points(50, seed=19), min_speed=0.02, max_speed=0.06, seed=5
+    )
+
+
+class TestRandomWaypoint:
+    def test_step_moves_people(self, walkers):
+        before = walkers.snapshot()
+        after = walkers.step(1.0)
+        moved = sum(1 for a, b in zip(before, after) if a != b)
+        assert moved == 50
+
+    def test_positions_stay_in_unit_square(self, walkers):
+        for _ in range(30):
+            snapshot = walkers.step(1.0)
+        assert all(0.0 <= p.x <= 1.0 and 0.0 <= p.y <= 1.0 for p in snapshot)
+
+    def test_displacement_bounded_by_speed(self, walkers):
+        before = walkers.snapshot()
+        after = walkers.step(2.0)
+        for a, b in zip(before, after):
+            assert a.distance_to(b) <= 0.06 * 2.0 + 1e-9
+
+    def test_time_advances(self, walkers):
+        walkers.step(0.5)
+        walkers.step(1.5)
+        assert walkers.time == pytest.approx(2.0)
+
+    def test_deterministic_replay(self):
+        initial = uniform_points(30, seed=3)
+        a = RandomWaypointModel(initial, seed=7)
+        b = RandomWaypointModel(initial, seed=7)
+        for _ in range(5):
+            assert list(a.step(1.0)) == list(b.step(1.0))
+
+    def test_pause_time_freezes_on_arrival(self):
+        initial = uniform_points(20, seed=2)
+        model = RandomWaypointModel(
+            initial, min_speed=5.0, max_speed=5.0, pause_time=100.0, seed=1
+        )
+        model.step(1.0)  # everyone reaches a waypoint (speed >> diagonal)
+        frozen = model.snapshot()
+        after = model.step(1.0)  # all paused now
+        assert list(frozen) == list(after)
+
+    def test_validation(self):
+        initial = uniform_points(5, seed=0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(initial, min_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(initial, min_speed=0.5, max_speed=0.1)
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(initial, pause_time=-1.0)
+        model = RandomWaypointModel(initial)
+        with pytest.raises(ConfigurationError):
+            model.step(0.0)
+
+
+class TestRegionLifetime:
+    @pytest.fixture(scope="class")
+    def result(self):
+        dataset = uniform_points(1500, seed=9)
+        config = SimulationConfig(
+            user_count=1500, delta=0.04, max_peers=8, k=6, request_count=30
+        )
+        return run_region_lifetime(
+            dataset, config, requests=30, steps=6, dt=1.0, max_speed=0.02
+        )
+
+    def test_starts_fully_valid(self, result):
+        assert result.member_coverage[0] == 1.0
+        assert result.regions_fully_valid[0] == 1.0
+        assert result.anonymity_preserved[0] == 1.0
+
+    def test_validity_decays_monotonically_in_trend(self, result):
+        """Coverage at the end is strictly below the start (people moved)."""
+        assert result.member_coverage[-1] < 1.0
+        assert result.regions_fully_valid[-1] < 1.0
+
+    def test_full_validity_implies_anonymity(self, result):
+        for full, anon in zip(result.regions_fully_valid, result.anonymity_preserved):
+            assert anon >= full - 1e-12
+
+    def test_format(self, result):
+        text = result.format()
+        assert "region lifetime" in text.lower()
+        assert "members still covered" in text

@@ -1,0 +1,102 @@
+"""Tests for the quadtree baseline and its reciprocity failure."""
+
+import pytest
+
+from repro.clustering.quadtree import (
+    QuadtreeCloaking,
+    effective_anonymity,
+    reciprocity_violations,
+)
+from repro.datasets import uniform_points
+from repro.datasets.base import PointDataset
+from repro.errors import ClusteringError, ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture(scope="module")
+def population():
+    return uniform_points(300, seed=13)
+
+
+class TestQuadrantDescent:
+    def test_region_contains_host_and_k(self, population):
+        cloaking = QuadtreeCloaking(population, 10)
+        for host in (0, 57, 211):
+            region = cloaking.region_for(host)
+            assert region.contains(population[host])
+            assert len(cloaking.anonymity_set(host)) >= 10
+
+    def test_region_is_a_quadrant(self, population):
+        """Every returned region is a dyadic quadrant of the unit square."""
+        cloaking = QuadtreeCloaking(population, 10)
+        region = cloaking.region_for(0)
+        width = region.width
+        assert width == region.height  # quadrants are square
+        # The side is a power of 1/2 and the corners are aligned to it.
+        import math
+
+        depth = round(-math.log2(width))
+        assert width == pytest.approx(0.5**depth)
+        assert region.x_min / width == pytest.approx(round(region.x_min / width))
+
+    def test_deeper_with_smaller_k(self, population):
+        loose = QuadtreeCloaking(population, 50).region_for(0)
+        tight = QuadtreeCloaking(population, 5).region_for(0)
+        assert tight.area <= loose.area
+        assert loose.contains_rect(tight)
+
+    def test_k_equals_population_returns_root(self, population):
+        cloaking = QuadtreeCloaking(population, len(population))
+        assert cloaking.region_for(0) == Rect.unit_square()
+
+    def test_stacked_points_bounded_by_depth(self):
+        stacked = PointDataset([Point(0.3, 0.3)] * 10)
+        cloaking = QuadtreeCloaking(stacked, 5, max_depth=6)
+        region = cloaking.region_for(0)
+        assert region.width == pytest.approx(0.5**6)
+
+    def test_validation(self, population):
+        with pytest.raises(ConfigurationError):
+            QuadtreeCloaking(population, 0)
+        with pytest.raises(ConfigurationError):
+            QuadtreeCloaking(population, 301)
+        with pytest.raises(ConfigurationError):
+            QuadtreeCloaking(population, 5, max_depth=0)
+        with pytest.raises(ClusteringError):
+            QuadtreeCloaking(population, 5).region_for(999)
+
+
+class TestReciprocityFailure:
+    def test_violations_exist_somewhere(self, population):
+        """The classic attack: some host's quadrant members answer with a
+        different (deeper) quadrant, shrinking the anonymity set."""
+        cloaking = QuadtreeCloaking(population, 20)
+        assert any(
+            reciprocity_violations(cloaking, host, limit=1)
+            for host in range(0, 300, 10)
+        )
+
+    def test_effective_anonymity_never_exceeds_set(self, population):
+        cloaking = QuadtreeCloaking(population, 15)
+        for host in range(0, 60, 7):
+            assert effective_anonymity(cloaking, host) <= len(
+                cloaking.anonymity_set(host)
+            )
+
+    def test_effective_anonymity_can_drop_below_k(self, population):
+        """The attack's punchline: after discarding non-reciprocal members
+        the adversary can be left with fewer than k candidates."""
+        cloaking = QuadtreeCloaking(population, 20)
+        assert any(
+            effective_anonymity(cloaking, host) < 20
+            for host in range(0, 300, 5)
+        )
+
+    def test_reciprocal_schemes_have_no_violations(self, population):
+        """Contrast: the registry-based schemes are reciprocal by design
+        (their check_reciprocity is exercised throughout the suite), and
+        a host whose quadrant happens to be everyone's quadrant shows no
+        violations either."""
+        cloaking = QuadtreeCloaking(population, len(population))
+        assert reciprocity_violations(cloaking, 0) == []

@@ -1,0 +1,108 @@
+"""Tests for the RSS/TDOA models and the ranking measurement layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.base import PointDataset
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.radio.measurement import ProximityMeter
+from repro.radio.rss import IdealRSSModel, LogDistanceRSSModel
+from repro.radio.tdoa import TDOAModel
+
+distances = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+class TestIdealRSS:
+    @given(distances, distances)
+    def test_strictly_decreasing(self, a, b):
+        model = IdealRSSModel()
+        if a + 1e-9 < b:  # resolvable separation in float arithmetic
+            assert model.rss(a) > model.rss(b)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ConfigurationError):
+            IdealRSSModel().rss(-0.1)
+
+    def test_bad_epsilon_raises(self):
+        with pytest.raises(ConfigurationError):
+            IdealRSSModel(epsilon=0.0)
+
+
+class TestLogDistanceRSS:
+    def test_noiseless_is_decreasing(self):
+        model = LogDistanceRSSModel(shadowing_sigma_db=0.0)
+        readings = [model.rss(d) for d in (1e-4, 1e-3, 1e-2, 1e-1)]
+        assert readings == sorted(readings, reverse=True)
+
+    def test_below_reference_distance_clamps(self):
+        model = LogDistanceRSSModel(reference_distance=1e-3)
+        assert model.rss(1e-6) == model.rss(1e-3)
+
+    def test_shadowing_perturbs(self):
+        noisy = LogDistanceRSSModel(shadowing_sigma_db=4.0, seed=1)
+        clean = LogDistanceRSSModel(shadowing_sigma_db=0.0)
+        assert noisy.rss(0.01) != clean.rss(0.01)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogDistanceRSSModel(path_loss_exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            LogDistanceRSSModel(reference_distance=0.0)
+        with pytest.raises(ConfigurationError):
+            LogDistanceRSSModel(shadowing_sigma_db=-1.0)
+
+
+class TestTDOA:
+    def test_arrival_time_increases_with_distance(self):
+        model = TDOAModel()
+        assert model.arrival_time(0.1) < model.arrival_time(0.2)
+
+    def test_rss_adapter_larger_means_closer(self):
+        model = TDOAModel()
+        assert model.rss(0.1) > model.rss(0.2)
+
+    def test_jitter_never_negative_time(self):
+        model = TDOAModel(jitter_sigma=1.0, seed=0)
+        assert all(model.arrival_time(1e-6) >= 0.0 for _ in range(50))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TDOAModel(propagation_speed=0.0)
+        with pytest.raises(ConfigurationError):
+            TDOAModel(jitter_sigma=-1.0)
+
+
+class TestProximityMeter:
+    @pytest.fixture()
+    def line_dataset(self):
+        # Users on a line: 0 at origin, then increasingly far.
+        return PointDataset(
+            [Point(0.0, 0.5), Point(0.1, 0.5), Point(0.25, 0.5), Point(0.6, 0.5)]
+        )
+
+    def test_rank_peers_matches_distance_order(self, line_dataset):
+        meter = ProximityMeter(line_dataset)
+        assert meter.rank_peers(0, [3, 1, 2]) == [1, 2, 3]
+
+    def test_ranks_one_based(self, line_dataset):
+        meter = ProximityMeter(line_dataset)
+        ranks = meter.ranks(0, [3, 1, 2])
+        assert ranks == {1: 1, 2: 2, 3: 3}
+
+    def test_self_measurement_raises(self, line_dataset):
+        with pytest.raises(ConfigurationError):
+            ProximityMeter(line_dataset).reading(1, 1)
+
+    def test_tie_broken_by_id(self):
+        ds = PointDataset(
+            [Point(0.5, 0.5), Point(0.4, 0.5), Point(0.6, 0.5)]
+        )  # 1 and 2 equidistant from 0
+        meter = ProximityMeter(ds)
+        assert meter.rank_peers(0, [2, 1]) == [1, 2]
+
+    def test_tdoa_meter_gives_same_ranking(self, line_dataset):
+        ideal = ProximityMeter(line_dataset)
+        tdoa = ProximityMeter(line_dataset, model=TDOAModel())
+        assert ideal.rank_peers(0, [1, 2, 3]) == tdoa.rank_peers(0, [1, 2, 3])

@@ -1,0 +1,137 @@
+"""Tests for the LBS server: POI database, queries, request costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.datasets import uniform_points
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.server.costs import request_cost_messages, total_request_cost
+from repro.server.poidb import POIDatabase
+from repro.server.queries import filter_exact_knn, range_knn_query, range_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return POIDatabase(uniform_points(500, seed=17))
+
+
+class TestPOIDatabase:
+    def test_len_and_poi(self, db):
+        assert len(db) == 500
+        assert isinstance(db.poi(3), Point)
+
+    def test_in_region_matches_brute_force(self, db):
+        region = Rect(0.2, 0.5, 0.3, 0.7)
+        want = {i for i in range(500) if region.contains(db.poi(i))}
+        assert set(db.in_region(region)) == want
+        assert db.count_in_region(region) == len(want)
+
+    def test_nearest(self, db):
+        center = Point(0.5, 0.5)
+        ids = db.nearest(center, 5)
+        dists = [center.distance_to(db.poi(i)) for i in ids]
+        assert dists == sorted(dists)
+        assert len(ids) == 5
+
+    def test_points_of(self, db):
+        assert db.points_of([1, 2]) == [db.poi(1), db.poi(2)]
+
+    def test_bad_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            POIDatabase(uniform_points(10, seed=0), cell_size=0.0)
+
+
+class TestRangeQuery:
+    def test_zero_radius_equals_region_contents(self, db):
+        region = Rect(0.4, 0.6, 0.4, 0.6)
+        assert set(range_query(db, region)) == set(db.in_region(region))
+
+    def test_radius_expands(self, db):
+        region = Rect(0.4, 0.6, 0.4, 0.6)
+        base = set(range_query(db, region))
+        wide = set(range_query(db, region, radius=0.1))
+        assert base <= wide
+
+    def test_negative_radius_rejected(self, db):
+        with pytest.raises(ConfigurationError):
+            range_query(db, Rect.unit_square(), radius=-0.1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        x=st.floats(min_value=0.1, max_value=0.9),
+        y=st.floats(min_value=0.1, max_value=0.9),
+        radius=st.floats(min_value=0.01, max_value=0.2),
+    )
+    def test_property_superset_for_any_anchor(self, db, x, y, radius):
+        """Casper soundness: for any anchor inside the cloaked region, the
+        candidate set contains every POI within the query radius."""
+        region = Rect(0.3, 0.7, 0.3, 0.7)
+        candidates = set(range_query(db, region, radius=radius))
+        anchor = Point(0.3 + 0.4 * x, 0.3 + 0.4 * y)
+        exact = {
+            i
+            for i in range(len(db))
+            if anchor.distance_to(db.poi(i)) <= radius
+        }
+        assert exact <= candidates
+
+
+class TestRangeKNN:
+    def test_small_db_returns_everything(self):
+        tiny = POIDatabase(uniform_points(3, seed=2))
+        assert set(range_knn_query(tiny, Rect.unit_square(), 5)) == {0, 1, 2}
+
+    def test_k_validation(self, db):
+        with pytest.raises(ConfigurationError):
+            range_knn_query(db, Rect.unit_square(), 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        x=st.floats(min_value=0.0, max_value=1.0),
+        y=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(1, 8),
+    )
+    def test_property_knn_soundness(self, db, x, y, k):
+        """For any anchor inside the region, its true kNN answers are in
+        the candidate superset (Hu and Lee's kRNN contract)."""
+        region = Rect(0.35, 0.65, 0.35, 0.65)
+        anchor = Point(0.35 + 0.3 * x, 0.35 + 0.3 * y)
+        candidates = set(range_knn_query(db, region, k))
+        truth = sorted(
+            range(len(db)), key=lambda i: anchor.squared_distance_to(db.poi(i))
+        )[:k]
+        assert set(truth) <= candidates
+
+    def test_filter_exact_knn(self, db):
+        region = Rect(0.45, 0.55, 0.45, 0.55)
+        anchor = Point(0.5, 0.5)
+        candidates = range_knn_query(db, region, 4)
+        refined = filter_exact_knn(db, candidates, anchor, 4)
+        truth = sorted(
+            range(len(db)), key=lambda i: anchor.squared_distance_to(db.poi(i))
+        )[:4]
+        assert refined == truth
+
+    def test_filter_k_validation(self, db):
+        with pytest.raises(ConfigurationError):
+            filter_exact_knn(db, [1, 2], Point(0.5, 0.5), 0)
+
+
+class TestCosts:
+    def test_request_cost_proportional_to_pois(self, db):
+        config = SimulationConfig(user_count=500, request_cost=1000.0)
+        region = Rect(0.4, 0.6, 0.4, 0.6)
+        cost = request_cost_messages(db, region, config)
+        assert cost == 1000.0 * db.count_in_region(region)
+
+    def test_total_request_cost_components(self, db):
+        config = SimulationConfig(user_count=500)
+        region = Rect(0.4, 0.6, 0.4, 0.6)
+        total = total_request_cost(
+            db, region, clustering_messages=7, bounding_messages=11, config=config
+        )
+        assert total == 7 + 11 + request_cost_messages(db, region, config)

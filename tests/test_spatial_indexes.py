@@ -1,0 +1,156 @@
+"""Tests for the grid index and k-d tree, cross-validated with brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import uniform_points
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.neighbors import NeighborFinder
+
+
+@pytest.fixture(scope="module")
+def population():
+    return list(uniform_points(400, seed=3).points)
+
+
+@pytest.fixture(scope="module", params=["grid", "kdtree"])
+def index(request, population):
+    if request.param == "grid":
+        return GridIndex(population, cell_size=0.05)
+    return KDTree(population)
+
+
+def brute_radius(points, center, radius):
+    r2 = radius * radius
+    return {i for i, p in enumerate(points) if center.squared_distance_to(p) <= r2}
+
+
+def brute_rect(points, rect):
+    return {i for i, p in enumerate(points) if rect.contains(p)}
+
+
+class TestAgainstBruteForce:
+    def test_radius_queries(self, index, population):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            center = Point(float(rng.random()), float(rng.random()))
+            radius = float(rng.uniform(0.005, 0.2))
+            assert set(index.query_radius(center, radius)) == brute_radius(
+                population, center, radius
+            )
+
+    def test_rect_queries(self, index, population):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            x1, x2 = sorted(rng.random(2))
+            y1, y2 = sorted(rng.random(2))
+            rect = Rect(float(x1), float(x2), float(y1), float(y2))
+            assert set(index.query_rect(rect)) == brute_rect(population, rect)
+
+    def test_nearest_neighbors(self, index, population):
+        rng = np.random.default_rng(3)
+        for _ in range(40):
+            center = Point(float(rng.random()), float(rng.random()))
+            count = int(rng.integers(1, 15))
+            got = index.nearest_neighbors(center, count)
+            want = sorted(
+                range(len(population)),
+                key=lambda i: center.squared_distance_to(population[i]),
+            )[:count]
+            got_d = [center.distance_to(population[i]) for i in got]
+            want_d = [center.distance_to(population[i]) for i in want]
+            assert got_d == pytest.approx(want_d)
+
+    def test_nearest_with_max_radius(self, index, population):
+        center = Point(0.5, 0.5)
+        got = index.nearest_neighbors(center, 50, max_radius=0.1)
+        assert all(center.distance_to(population[i]) <= 0.1 for i in got)
+        assert len(got) == min(50, len(brute_radius(population, center, 0.1)))
+
+
+class TestEdgeCases:
+    def test_zero_count(self, index):
+        assert index.nearest_neighbors(Point(0.5, 0.5), 0) == []
+
+    def test_negative_radius_raises(self, index):
+        with pytest.raises(ConfigurationError):
+            index.query_radius(Point(0.5, 0.5), -0.1)
+
+    def test_count_exceeds_population(self, population, index):
+        got = index.nearest_neighbors(Point(0.5, 0.5), len(population) + 10)
+        assert len(got) == len(population)
+
+    def test_len(self, index, population):
+        assert len(index) == len(population)
+
+    def test_point_accessor(self, index, population):
+        assert index.point(7) == population[7]
+
+    def test_grid_rejects_bad_cell_size(self, population):
+        with pytest.raises(ConfigurationError):
+            GridIndex(population, cell_size=0.0)
+
+    def test_grid_count_rect_matches_query(self, population):
+        grid = GridIndex(population, cell_size=0.03)
+        rect = Rect(0.2, 0.6, 0.1, 0.5)
+        assert grid.count_rect(rect) == len(grid.query_rect(rect))
+
+    def test_points_outside_bounds_are_clamped(self):
+        pts = [Point(-0.5, 0.5), Point(1.5, 0.5), Point(0.5, 0.5)]
+        grid = GridIndex(pts, cell_size=0.1)
+        assert set(grid.query_radius(Point(-0.5, 0.5), 0.01)) == {0}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    pts=st.lists(
+        st.builds(
+            Point,
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    radius=st.floats(min_value=0.001, max_value=0.8),
+)
+def test_property_indexes_agree(pts, radius):
+    """Grid and k-d tree return identical radius answers on random input."""
+    grid = GridIndex(pts, cell_size=0.07)
+    tree = KDTree(pts)
+    center = Point(0.5, 0.5)
+    assert set(grid.query_radius(center, radius)) == set(
+        tree.query_radius(center, radius)
+    )
+
+
+class TestNeighborFinder:
+    def test_peers_exclude_self(self, population):
+        finder = NeighborFinder(population, cell_size=0.1)
+        peers = finder.peers_in_range(5, 0.2)
+        assert 5 not in peers
+
+    def test_nearest_peers_sorted_and_capped(self, population):
+        finder = NeighborFinder(population, cell_size=0.1)
+        peers = finder.nearest_peers(5, 4, 0.5)
+        assert len(peers) == 4
+        center = population[5]
+        dists = [center.distance_to(population[p]) for p in peers]
+        assert dists == sorted(dists)
+
+    def test_unknown_kind_raises(self, population):
+        with pytest.raises(ConfigurationError):
+            NeighborFinder(population, kind="rtree")  # type: ignore[arg-type]
+
+    def test_kdtree_backend_matches_grid(self, population):
+        grid_f = NeighborFinder(population, kind="grid", cell_size=0.05)
+        tree_f = NeighborFinder(population, kind="kdtree")
+        assert set(grid_f.peers_in_range(10, 0.15)) == set(
+            tree_f.peers_in_range(10, 0.15)
+        )
