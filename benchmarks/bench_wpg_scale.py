@@ -1,0 +1,170 @@
+"""WPG construction and request-path throughput at production scale.
+
+Regenerates ``BENCH_wpg.json``: scalar vs vectorized build times with an
+edge-level equality cross-check, plus batched request throughput and
+region-cache hit rate, at each population size.  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_wpg_scale.py \
+        --sizes 10000,50000 --requests 2000 --out BENCH_wpg.json
+
+The output schema (``bench_wpg/v1``)::
+
+    {
+      "schema": "bench_wpg/v1",
+      "max_peers": 10, "k": 10, "seed": 3, "requests": 2000,
+      "sizes": [
+        {
+          "users": 50000, "delta": 0.0029, "edges": 172660,
+          "build": {
+            "scalar_seconds": ..., "fast_seconds": ...,
+            "speedup": ..., "graphs_equal": true
+          },
+          "requests": {
+            "count": 2000, "seconds": ...,
+            "requests_per_second": ..., "cache_hit_rate": ...
+          }
+        }, ...
+      ]
+    }
+
+The file is a plain script (no pytest fixtures) so ``pytest benchmarks/``
+collects nothing from it; the CI smoke invokes it at a small population
+and validates the emitted JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloaking.engine import CloakingEngine
+from repro.config import SimulationConfig
+from repro.datasets.california import california_like_poi
+from repro.experiments.workloads import clusterable_users
+from repro.graph.build import build_wpg, build_wpg_fast
+
+PAPER_USERS = 104_770
+PAPER_DELTA = 2e-3
+MAX_PEERS = 10
+
+
+def scaled_delta(users: int) -> float:
+    """The paper's radio range, scaled to preserve WPG density."""
+    return PAPER_DELTA * (PAPER_USERS / users) ** 0.5
+
+
+def edge_dict(graph) -> dict[tuple[int, int], float]:
+    return {edge.key(): edge.weight for edge in graph.edges()}
+
+
+def bench_size(users: int, requests: int, seed: int) -> dict:
+    """Benchmark one population size; returns the per-size JSON record."""
+    dataset = california_like_poi(users, seed=seed)
+    delta = scaled_delta(users)
+
+    t0 = time.perf_counter()
+    fast = build_wpg_fast(dataset, delta, MAX_PEERS)
+    fast_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = build_wpg(dataset, delta, MAX_PEERS)
+    scalar_seconds = time.perf_counter() - t0
+
+    graphs_equal = (
+        set(fast.vertices()) == set(scalar.vertices())
+        and edge_dict(fast) == edge_dict(scalar)
+    )
+
+    config = SimulationConfig(user_count=users, delta=delta, max_peers=MAX_PEERS)
+    engine = CloakingEngine(dataset, fast, config)
+    # Hosts drawn with replacement: repeats and cluster mates exercise
+    # the region cache exactly like a production request stream would.
+    pool = clusterable_users(fast, config.k)
+    rng = np.random.default_rng(seed)
+    workload = [int(h) for h in rng.choice(pool, size=requests, replace=True)]
+
+    t0 = time.perf_counter()
+    results = engine.request_many(workload)
+    request_seconds = time.perf_counter() - t0
+    hits = sum(1 for r in results if r.region_from_cache)
+
+    return {
+        "users": users,
+        "delta": delta,
+        "edges": fast.edge_count,
+        "build": {
+            "scalar_seconds": round(scalar_seconds, 4),
+            "fast_seconds": round(fast_seconds, 4),
+            "speedup": round(scalar_seconds / fast_seconds, 2),
+            "graphs_equal": graphs_equal,
+        },
+        "requests": {
+            "count": len(results),
+            "seconds": round(request_seconds, 4),
+            "requests_per_second": round(len(results) / request_seconds, 1),
+            "cache_hit_rate": round(hits / len(results), 4),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="10000,50000",
+        help="comma-separated population sizes (default: 10000,50000)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=2000,
+        help="requests per size for the throughput phase (default: 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default="BENCH_wpg.json",
+        help="output path (default: BENCH_wpg.json)",
+    )
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    if not sizes:
+        parser.error(f"--sizes has no population sizes: {args.sizes!r}")
+    if any(s < 1 for s in sizes):
+        parser.error(f"--sizes must all be >= 1, got {sizes}")
+
+    records = []
+    for users in sizes:
+        record = bench_size(users, args.requests, args.seed)
+        build, reqs = record["build"], record["requests"]
+        print(
+            f"users={users}: build scalar {build['scalar_seconds']}s, "
+            f"fast {build['fast_seconds']}s ({build['speedup']}x, "
+            f"equal={build['graphs_equal']}), "
+            f"{reqs['requests_per_second']} req/s, "
+            f"cache hit rate {reqs['cache_hit_rate']}"
+        )
+        records.append(record)
+
+    payload = {
+        "schema": "bench_wpg/v1",
+        "max_peers": MAX_PEERS,
+        "k": SimulationConfig().k,
+        "seed": args.seed,
+        "requests": args.requests,
+        "sizes": records,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if all(r["build"]["graphs_equal"] for r in records) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

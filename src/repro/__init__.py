@@ -37,7 +37,7 @@ from repro.datasets import (
     save_csv,
     uniform_points,
 )
-from repro.graph import WeightedProximityGraph, build_wpg
+from repro.graph import WeightedProximityGraph, build_wpg, build_wpg_fast
 from repro.clustering import (
     ClusterRegistry,
     ClusterResult,
@@ -84,6 +84,7 @@ __all__ = [
     "SimulationConfig",
     "WeightedProximityGraph",
     "build_wpg",
+    "build_wpg_fast",
     "california_like_poi",
     "centralized_k_clustering",
     "gaussian_clusters",

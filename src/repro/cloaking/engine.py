@@ -21,7 +21,7 @@ coordinate, and the bounding protocol reveals only yes/no answers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Literal, Optional, Protocol
+from typing import Callable, Iterable, Literal, Optional, Protocol
 
 from repro.config import SimulationConfig
 from repro.datasets.base import PointDataset
@@ -137,6 +137,8 @@ class CloakingEngine:
             raise ConfigurationError(f"unknown mode {mode!r}")
         self._policy_builder = self._resolve_policy(policy)
         self._regions: dict[frozenset[int], CloakedRegion] = {}
+        # Monotonic so region ids stay unique across invalidations.
+        self._next_region_id = 0
 
     def _resolve_policy(self, policy: str | PolicyBuilder) -> PolicyBuilder:
         if policy == "optimal":
@@ -170,13 +172,14 @@ class CloakingEngine:
                 bounding_messages=0,
                 region_from_cache=True,
             )
-        region, bounding_messages = self._bound(members)
+        region, bounding_messages = self._bound(members, host)
         region = self._enforce_granularity(region)
         cloaked = CloakedRegion(
             rect=region,
-            cluster_id=len(self._regions),
+            cluster_id=self._next_region_id,
             anonymity=len(members),
         )
+        self._next_region_id += 1
         self._regions[members] = cloaked
         return CloakingResult(
             host=host,
@@ -186,6 +189,60 @@ class CloakingEngine:
             bounding_messages=bounding_messages,
             region_from_cache=False,
         )
+
+    def request_many(self, hosts: Iterable[int]) -> list[CloakingResult]:
+        """Serve a batch of cloaking requests, amortising the cache lookups.
+
+        Produces exactly the results sequential :meth:`request` calls
+        would (same order), but answers the common case — host already
+        clustered, region already cached — with two dict probes instead
+        of a round trip through the phase-1 service.  Only hosts that
+        still need clustering or bounding fall through to the full path.
+        """
+        registry = self._clustering.registry
+        regions = self._regions
+        results: list[CloakingResult] = []
+        for host in hosts:
+            members = registry.cluster_of(host)
+            cached = regions.get(members) if members is not None else None
+            if members is not None and cached is not None:
+                # Exactly the answer request() assembles for an
+                # already-clustered host with a cached region: every
+                # phase-1 service reports such hits as involved=0,
+                # from_cache=True, connectivity left at its default.
+                results.append(
+                    CloakingResult(
+                        host=host,
+                        region=cached,
+                        cluster=ClusterResult(
+                            host=host,
+                            members=members,
+                            involved=0,
+                            from_cache=True,
+                        ),
+                        clustering_messages=0,
+                        bounding_messages=0,
+                        region_from_cache=True,
+                    )
+                )
+            else:
+                results.append(self.request(host))
+        return results
+
+    def invalidate_region(self, members: Iterable[int]) -> bool:
+        """Drop the cached region for the cluster ``members``, if any.
+
+        Mobility support: when a cluster member moves, the cached region
+        no longer covers the cluster and must be rebuilt on the next
+        request.  Returns True when a cached region was dropped.
+        """
+        return self._regions.pop(frozenset(members), None) is not None
+
+    def clear_regions(self) -> int:
+        """Invalidate every cached region; returns how many were dropped."""
+        dropped = len(self._regions)
+        self._regions.clear()
+        return dropped
 
     def _enforce_granularity(self, region: Rect) -> Rect:
         """Grow ``region`` until it satisfies the minimum-area metric.
@@ -211,8 +268,14 @@ class CloakingEngine:
             grown = grown.expanded(max(margin, 1e-6)).clipped_to(unit)
         return grown
 
-    def _bound(self, members: frozenset[int]) -> tuple[Rect, int]:
-        """Phase 2 over the cluster; returns (region, bounding messages)."""
+    def _bound(self, members: frozenset[int], host: int) -> tuple[Rect, int]:
+        """Phase 2 over the cluster; returns (region, bounding messages).
+
+        The requesting ``host`` initiates the secure bounding rounds, so
+        its position within the sorted member list is the protocol's host
+        index — not slot 0, which only coincides with the host when the
+        host happens to be the smallest member id.
+        """
         ordered = sorted(members)
         points = [self._dataset[i] for i in ordered]
         if self._policy_builder is None:
@@ -221,7 +284,7 @@ class CloakingEngine:
         size = len(points)
         result = secure_bounding_box(
             points,
-            host_index=0,
+            host_index=ordered.index(host),
             policy_factory=lambda: self._policy_builder(size),
             clip_to=Rect.unit_square(),
         )

@@ -1,7 +1,7 @@
 """The weighted proximity graph (WPG) and supporting graph machinery."""
 
 from repro.graph.wpg import Edge, WeightedProximityGraph
-from repro.graph.build import build_wpg
+from repro.graph.build import build_wpg, build_wpg_fast
 from repro.graph.unionfind import UnionFind
 from repro.graph.dendrogram import DendrogramNode, single_linkage_dendrogram
 from repro.graph.components import (
@@ -28,6 +28,7 @@ __all__ = [
     "WeightedProximityGraph",
     "average_degree",
     "build_wpg",
+    "build_wpg_fast",
     "connected_component",
     "connected_components",
     "cut_smallest_valid",

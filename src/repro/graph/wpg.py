@@ -10,7 +10,10 @@ operates on proximity alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterable, Iterator
+
+import numpy as np
 
 from repro.errors import GraphError
 
@@ -55,8 +58,31 @@ class WeightedProximityGraph:
     """
 
     def __init__(self) -> None:
-        self._adjacency: dict[int, dict[int, float]] = {}
+        self._adj: dict[int, dict[int, float]] = {}
+        # CSR edge columns from from_arrays, not yet boxed into dicts:
+        # (per-vertex degrees, grouped targets, grouped weights).
+        self._pending: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._edge_count = 0
+
+    @property
+    def _adjacency(self) -> dict[int, dict[int, float]]:
+        if self._pending is not None:
+            degrees, tgts, ws = self._pending
+            self._pending = None
+            # One C-level dict(zip(...)) per vertex; islice walks the
+            # boxed lists without intermediate slice copies.
+            it_t = iter(tgts.tolist())
+            it_w = iter(ws.tolist())
+            self._adj = {
+                vertex: dict(zip(islice(it_t, deg), islice(it_w, deg)))
+                for vertex, deg in enumerate(degrees.tolist())
+            }
+        return self._adj
+
+    @_adjacency.setter
+    def _adjacency(self, value: dict[int, dict[int, float]]) -> None:
+        self._pending = None
+        self._adj = value
 
     # -- construction ---------------------------------------------------------
 
@@ -72,6 +98,53 @@ class WeightedProximityGraph:
             graph.add_vertex(vertex)
         for u, v, weight in edges:
             graph.add_edge(u, v, weight)
+        return graph
+
+    @classmethod
+    def from_arrays(
+        cls,
+        vertex_count: int,
+        us: Iterable[int],
+        vs: Iterable[int],
+        weights: Iterable[float],
+    ) -> "WeightedProximityGraph":
+        """Bulk-build a graph on vertices ``0..vertex_count-1`` from columns.
+
+        The fast constructor behind the vectorized WPG build: edge lists
+        arrive as parallel columns (numpy arrays or sequences), each
+        undirected pair appearing exactly once.  Skips the per-edge
+        duplicate checks of :meth:`add_edge` — callers must guarantee
+        uniqueness and ``u != v``.
+
+        The adjacency dicts are materialised lazily: construction does the
+        numpy grouping only, and the per-edge boxing into Python dicts
+        happens once, on first adjacency access.  Building a graph just to
+        persist or count it never pays the boxing cost.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        weights = np.asarray(weights, dtype=float)
+        if len(us):
+            if bool(np.any(us == vs)):
+                raise GraphError("self-loop in edge arrays")
+            lo = min(int(us.min()), int(vs.min()))
+            hi = max(int(us.max()), int(vs.max()))
+            if lo < 0 or hi >= vertex_count:
+                raise GraphError(
+                    f"edge endpoint {lo if lo < 0 else hi} outside "
+                    f"0..{vertex_count - 1}"
+                )
+        # Mirror into directed form and group by source vertex; the
+        # grouped columns are boxed into dicts by the lazy _adjacency
+        # property the first time anything reads the graph.
+        srcs = np.concatenate((us, vs))
+        tgts = np.concatenate((vs, us))
+        both = np.concatenate((weights, weights))
+        order = np.argsort(srcs, kind="stable")
+        degrees = np.bincount(srcs, minlength=vertex_count)
+        graph = cls()
+        graph._pending = (degrees, tgts[order], both[order])
+        graph._edge_count = len(us)
         return graph
 
     def add_vertex(self, vertex: int) -> None:

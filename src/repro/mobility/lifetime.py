@@ -40,17 +40,23 @@ class RegionLifetimeResult:
     member_coverage: tuple[float, ...]  # fraction of members still inside
     regions_fully_valid: tuple[float, ...]  # fraction of regions intact
     anonymity_preserved: tuple[float, ...]  # fraction of regions with >= k inside
+    regions_invalidated: tuple[int, ...] = ()  # cumulative cache invalidations
 
     def format(self) -> str:
         """Render the result as the benchmark-report text."""
+        series = {
+            "members still covered": list(self.member_coverage),
+            "regions fully valid": list(self.regions_fully_valid),
+            "regions still k-anonymous": list(self.anonymity_preserved),
+        }
+        if self.regions_invalidated:
+            series["regions invalidated"] = [
+                float(count) for count in self.regions_invalidated
+            ]
         return format_series(
             "time",
             list(self.times),
-            {
-                "members still covered": list(self.member_coverage),
-                "regions fully valid": list(self.regions_fully_valid),
-                "regions still k-anonymous": list(self.anonymity_preserved),
-            },
+            series,
             title="Cloaked-region lifetime under random-waypoint mobility",
         )
 
@@ -92,6 +98,8 @@ def run_region_lifetime(
     coverage: list[float] = [1.0]
     fully_valid: list[float] = [1.0]
     anonymous: list[float] = [1.0]
+    invalidated: list[int] = [0]
+    dropped = 0
     snapshot = dataset
     for _step in range(steps):
         snapshot = model.step(dt)
@@ -105,17 +113,26 @@ def run_region_lifetime(
             member_total += len(members)
             if inside == len(members):
                 intact += 1
+            else:
+                # A member walked out: the cached region is stale.  Drop
+                # it from the engine so the next request for this cluster
+                # re-runs secure bounding instead of serving the stale box
+                # (invalidate_region is True only on the first drop).
+                if engine.invalidate_region(members):
+                    dropped += 1
             if inside >= config.k:
                 still_anonymous += 1
         times.append(model.time)
         coverage.append(inside_total / member_total if member_total else 1.0)
         fully_valid.append(intact / len(regions) if regions else 1.0)
         anonymous.append(still_anonymous / len(regions) if regions else 1.0)
+        invalidated.append(dropped)
     return RegionLifetimeResult(
         times=tuple(times),
         member_coverage=tuple(coverage),
         regions_fully_valid=tuple(fully_valid),
         anonymity_preserved=tuple(anonymous),
+        regions_invalidated=tuple(invalidated),
     )
 
 

@@ -12,7 +12,6 @@ descending RSS sorts them by ascending estimated distance.
 
 from __future__ import annotations
 
-import math
 from typing import Protocol
 
 import numpy as np
@@ -26,6 +25,18 @@ class RSSModel(Protocol):
     def rss(self, distance: float) -> float:
         """Signal-strength reading at ``distance`` (larger = closer)."""
         ...
+
+
+def rss_batch_fallback(model: RSSModel, distances: np.ndarray) -> np.ndarray:
+    """Per-element readings for models without a vectorized ``rss_batch``.
+
+    Readings are taken in array order, so stateful models (shadowing RNGs)
+    consume their noise stream exactly as a scalar caller iterating the
+    same pairs would — batch and scalar rankings stay bit-identical.
+    """
+    return np.fromiter(
+        (model.rss(float(d)) for d in distances), dtype=float, count=len(distances)
+    )
 
 
 class IdealRSSModel:
@@ -46,6 +57,12 @@ class IdealRSSModel:
         if distance < 0:
             raise ConfigurationError(f"distance must be non-negative, got {distance}")
         return 1.0 / (distance + self._epsilon)
+
+    def rss_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rss`; bit-identical to the scalar readings."""
+        if np.any(distances < 0):
+            raise ConfigurationError("distances must be non-negative")
+        return 1.0 / (distances + self._epsilon)
 
 
 class LogDistanceRSSModel:
@@ -92,7 +109,23 @@ class LogDistanceRSSModel:
         if distance < 0:
             raise ConfigurationError(f"distance must be non-negative, got {distance}")
         effective = max(distance, self._d0)
-        reading = self._p0 - 10.0 * self._n * math.log10(effective / self._d0)
+        # np.log10 (not math.log10) so the scalar and batch paths round
+        # identically — rankings must not depend on which path computed them.
+        reading = self._p0 - 10.0 * self._n * float(np.log10(effective / self._d0))
         if self._sigma > 0:
             reading += float(self._rng.normal(0.0, self._sigma))
         return reading
+
+    def rss_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rss`; bit-identical to scalar readings.
+
+        The shadowing draws come from the same RNG stream in array order,
+        so a batch of n readings equals n successive scalar readings.
+        """
+        if np.any(distances < 0):
+            raise ConfigurationError("distances must be non-negative")
+        effective = np.maximum(distances, self._d0)
+        readings = self._p0 - 10.0 * self._n * np.log10(effective / self._d0)
+        if self._sigma > 0:
+            readings = readings + self._rng.normal(0.0, self._sigma, size=len(readings))
+        return readings

@@ -56,3 +56,16 @@ class TDOAModel:
     def rss(self, distance: float) -> float:
         """Adapter to the RSS protocol: negate so larger means closer."""
         return -self.arrival_time(distance)
+
+    def rss_batch(self, distances: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`rss`; bit-identical to scalar readings.
+
+        Jitter draws come from the same RNG stream in array order, so a
+        batch of n readings equals n successive scalar readings.
+        """
+        if np.any(distances < 0):
+            raise ConfigurationError("distances must be non-negative")
+        readings = distances / self._speed
+        if self._jitter > 0:
+            readings = readings + self._rng.normal(0.0, self._jitter, size=len(readings))
+        return -np.maximum(readings, 0.0)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -44,9 +46,14 @@ class GridIndex:
         self._cell_size = cell_size
         self._nx = max(1, math.ceil(self._bounds.width / cell_size))
         self._ny = max(1, math.ceil(self._bounds.height / cell_size))
-        self._cells: dict[tuple[int, int], list[int]] = {}
-        for idx, point in enumerate(self._points):
-            self._cells.setdefault(self._cell_of(point), []).append(idx)
+        # Both representations are built lazily on first use: the scalar
+        # queries walk a dict of cell -> point ids, the batch queries flat
+        # CSR arrays.  Either workload pays only for what it touches.
+        self._cells_dict: dict[tuple[int, int], list[int]] | None = None
+        self._bulk: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+            | None
+        ) = None
 
     def __len__(self) -> int:
         return len(self._points)
@@ -69,6 +76,15 @@ class GridIndex:
         cx = int((point.x - self._bounds.x_min) / self._cell_size)
         cy = int((point.y - self._bounds.y_min) / self._cell_size)
         return (min(max(cx, 0), self._nx - 1), min(max(cy, 0), self._ny - 1))
+
+    @property
+    def _cells(self) -> dict[tuple[int, int], list[int]]:
+        if self._cells_dict is None:
+            cells: dict[tuple[int, int], list[int]] = {}
+            for idx, point in enumerate(self._points):
+                cells.setdefault(self._cell_of(point), []).append(idx)
+            self._cells_dict = cells
+        return self._cells_dict
 
     def _cells_overlapping(self, rect: Rect) -> Iterable[tuple[int, int]]:
         lo_x, lo_y = self._cell_of(Point(rect.x_min, rect.y_min))
@@ -132,14 +148,23 @@ class GridIndex:
         best: list[tuple[float, int]] = []
         max_ring = max(self._nx, self._ny)
         for ring in range(0, max_ring + 1):
+            # Points in ring `ring` are at least (ring - 1) * cell_size away
+            # from the center; once that lower bound exceeds the radius
+            # limit, no further ring can contribute, regardless of whether
+            # outer rings still hold (out-of-range) points.
+            if (ring - 1) * self._cell_size > limit:
+                break
+            # Everything indexed is already gathered: the remaining rings
+            # are provably empty (sparse populations would otherwise force
+            # a full-grid walk when `count` exceeds the population).
+            if len(best) == len(self._points):
+                break
             # Gather the cells forming this ring around the center cell.
-            added_any = False
             for cx, cy in self._ring_cells(ccx, ccy, ring):
                 for idx in self._cells.get((cx, cy), ()):
                     d2 = center.squared_distance_to(self._points[idx])
                     if d2 <= limit * limit:
                         best.append((d2, idx))
-                        added_any = True
             # Points in rings > `ring` are at least (ring) * cell_size away
             # from the center, so once we hold `count` answers closer than
             # that lower bound, the result is complete.
@@ -148,10 +173,150 @@ class GridIndex:
                 kth_dist = math.sqrt(best[count - 1][0])
                 if kth_dist <= ring * self._cell_size:
                     return [idx for _, idx in best[:count]]
-            if ring * self._cell_size > limit and not added_any:
-                break
         best.sort()
         return [idx for _, idx in best[:count]]
+
+    # -- batch queries --------------------------------------------------------
+
+    def _bulk_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat array views of the index, built once on first batch query.
+
+        Returns ``(coords, bucket_counts, bucket_indptr, bucket_points,
+        bucket_coords)``: point coordinates as an ``(n, 2)`` array, the
+        per-cell point count and CSR layout over row-major cell ids
+        ``cx * ny + cy`` with each cell's points in insertion (ascending
+        id) order — the same order the scalar queries scan them in — and
+        the coordinates permuted into that bucket order (``(2, n)``,
+        per-axis contiguous) so candidate gathers stream sequentially
+        instead of hopping the heap.
+        """
+        if self._bulk is None:
+            n = len(self._points)
+            coords = np.array(
+                [(p.x, p.y) for p in self._points], dtype=float
+            ).reshape(n, 2)
+            cx, cy = self._cell_coords(coords[:, 0], coords[:, 1])
+            cell_ids = cx * self._ny + cy
+            bucket_counts = np.bincount(cell_ids, minlength=self._nx * self._ny)
+            bucket_indptr = np.concatenate(
+                ([0], np.cumsum(bucket_counts))
+            ).astype(np.int64)
+            bucket_points = np.argsort(cell_ids, kind="stable").astype(np.int64)
+            bucket_coords = np.ascontiguousarray(coords[bucket_points].T)
+            self._bulk = (
+                coords,
+                bucket_counts,
+                bucket_indptr,
+                bucket_points,
+                bucket_coords,
+            )
+        return self._bulk
+
+    def _cell_coords(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_cell_of`: clamped cell coordinates per point."""
+        cx = ((xs - self._bounds.x_min) / self._cell_size).astype(np.int64)
+        cy = ((ys - self._bounds.y_min) / self._cell_size).astype(np.int64)
+        np.clip(cx, 0, self._nx - 1, out=cx)
+        np.clip(cy, 0, self._ny - 1, out=cy)
+        return cx, cy
+
+    def points_array(self) -> np.ndarray:
+        """The indexed coordinates as an ``(n, 2)`` float array (shared)."""
+        return self._bulk_arrays()[0]
+
+    def cell_bucket_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR bucket layout ``(indptr, point_ids)`` over row-major cell ids.
+
+        ``point_ids[indptr[c]:indptr[c + 1]]`` are the points of cell
+        ``c = cx * ny + cy`` in ascending id order.
+        """
+        _, _, bucket_indptr, bucket_points, _ = self._bulk_arrays()
+        return bucket_indptr, bucket_points
+
+    def batch_query_radius(
+        self, radius: float, centers: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All radius queries at once: CSR ``(indptr, neighbor_ids)``.
+
+        ``neighbor_ids[indptr[i]:indptr[i + 1]]`` are the indexed points
+        within ``radius`` of center ``i`` — by default every indexed point
+        is a center, which is exactly the all-pairs query WPG construction
+        needs.  The per-center result equals :meth:`query_radius` for the
+        same center, in the same order (cells row-major, points by id), so
+        scalar and batch callers can be cross-validated element-wise.
+
+        ``centers`` may override the query centers with an ``(m, 2)``
+        coordinate array.  The sweep enumerates cell offsets, so it is
+        efficient when ``radius`` is within a small multiple of
+        ``cell_size`` (the WPG regime ``cell_size == delta``).
+        """
+        if radius < 0:
+            raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        (
+            coords,
+            bucket_counts,
+            bucket_indptr,
+            bucket_points,
+            bucket_coords,
+        ) = self._bulk_arrays()
+        centers_xy = coords if centers is None else np.asarray(centers, dtype=float)
+        m = len(centers_xy)
+        xs = np.ascontiguousarray(centers_xy[:, 0])
+        ys = np.ascontiguousarray(centers_xy[:, 1])
+        bucket_xs, bucket_ys = bucket_coords
+        r2 = radius * radius
+        # The cells overlapping each center's bounding box, computed exactly
+        # like the scalar path (box corners through the clamped cell map).
+        lo_x, lo_y = self._cell_coords(xs - radius, ys - radius)
+        hi_x, hi_y = self._cell_coords(xs + radius, ys + radius)
+        span_x = hi_x - lo_x
+        span_y = hi_y - lo_y
+        center_chunks: list[np.ndarray] = []
+        cand_chunks: list[np.ndarray] = []
+        # Offsets enumerated x-major to mirror _cells_overlapping's order;
+        # the stable sort below then restores per-center cell order.
+        for i in range(int(span_x.max()) + 1 if m else 0):
+            for j in range(int(span_y.max()) + 1 if m else 0):
+                valid = np.flatnonzero((i <= span_x) & (j <= span_y))
+                if len(valid) == 0:
+                    continue
+                cell_ids = (lo_x[valid] + i) * self._ny + (lo_y[valid] + j)
+                counts = bucket_counts[cell_ids]
+                occupied = counts > 0
+                valid, cell_ids, counts = (
+                    valid[occupied],
+                    cell_ids[occupied],
+                    counts[occupied],
+                )
+                if len(valid) == 0:
+                    continue
+                total = int(counts.sum())
+                # Ragged gather: positions within each bucket segment.
+                # Candidate reads are near-sequential in bucket order, so
+                # the distance filter streams instead of random-gathering.
+                ends = np.cumsum(counts)
+                cand_pos = np.repeat(bucket_indptr[cell_ids], counts) + (
+                    np.arange(total) - np.repeat(ends - counts, counts)
+                )
+                dx = np.repeat(xs[valid], counts) - bucket_xs[cand_pos]
+                dy = np.repeat(ys[valid], counts) - bucket_ys[cand_pos]
+                keep = dx * dx + dy * dy <= r2
+                cand_chunks.append(bucket_points[cand_pos[keep]])
+                center_chunks.append(np.repeat(valid, counts)[keep])
+        if not cand_chunks:
+            return np.zeros(m + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        cen = np.concatenate(center_chunks)
+        cand = np.concatenate(cand_chunks)
+        order = np.argsort(cen, kind="stable")
+        cen, cand = cen[order], cand[order]
+        indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(cen, minlength=m)))
+        ).astype(np.int64)
+        return indptr, cand
 
     def _ring_cells(
         self, ccx: int, ccy: int, ring: int

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Literal, Protocol, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.spatial.grid import GridIndex
@@ -76,6 +78,30 @@ class NeighborFinder:
         """Ids of all users within communication range of ``user`` (excl. self)."""
         center = self._index.point(user)
         return [i for i in self._index.query_radius(center, delta) if i != user]
+
+    def batch_peers_in_range(self, delta: float) -> tuple[np.ndarray, np.ndarray]:
+        """Every user's delta-neighborhood at once: CSR ``(indptr, peers)``.
+
+        ``peers[indptr[u]:indptr[u + 1]]`` equals ``peers_in_range(u, delta)``
+        (self excluded, same order).  Only the grid index supports the
+        batch sweep; a kd-tree-backed finder raises
+        :class:`ConfigurationError`.
+        """
+        if not isinstance(self._index, GridIndex):
+            raise ConfigurationError(
+                "batch_peers_in_range requires the grid index "
+                f"(got {type(self._index).__name__})"
+            )
+        indptr, nbrs = self._index.batch_query_radius(delta)
+        n = len(self._index)
+        counts = np.diff(indptr)
+        users = np.repeat(np.arange(n, dtype=np.int64), counts)
+        not_self = nbrs != users
+        users, nbrs = users[not_self], nbrs[not_self]
+        new_indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(users, minlength=n)))
+        ).astype(np.int64)
+        return new_indptr, nbrs
 
     def nearest_peers(self, user: int, count: int, delta: float) -> list[int]:
         """The ``count`` nearest users to ``user`` within ``delta``, nearest first.

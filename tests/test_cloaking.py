@@ -139,6 +139,103 @@ class TestCloakingEngine:
         assert engine.regions_cached == 1
 
 
+class TestHostRoleBounding:
+    def test_bounding_seeded_at_requesting_host(
+        self, small_dataset, small_graph, small_config
+    ):
+        """Secure bounding must start from the requester, not member 0.
+
+        The progressive protocol seeds all four directional runs at the
+        host's own coordinate; a host that is not the smallest member id
+        therefore produces a different (still correct) region than the
+        smallest member would.  Regression for the engine passing
+        ``host_index=0`` unconditionally.
+        """
+        from repro.bounding.boxing import secure_bounding_box
+        from repro.bounding.presets import paper_policy
+
+        engine = CloakingEngine(
+            small_dataset, small_graph, small_config, policy="linear"
+        )
+        first = engine.request(0)
+        members = first.cluster.members
+        host = max(members)
+        assert host != min(members)
+        # Drop the cached region so the new host re-runs phase 2.
+        assert engine.invalidate_region(members)
+        result = engine.request(host)
+
+        ordered = sorted(members)
+        points = [small_dataset[i] for i in ordered]
+        size = len(points)
+        expected = secure_bounding_box(
+            points,
+            host_index=ordered.index(host),
+            policy_factory=lambda: paper_policy("linear", size, small_config),
+            clip_to=Rect.unit_square(),
+        )
+        assert result.region.rect == expected.region
+        # Sanity: the old behaviour (always member 0) gives a different
+        # region here, so this test genuinely discriminates.
+        wrong = secure_bounding_box(
+            points,
+            host_index=0,
+            policy_factory=lambda: paper_policy("linear", size, small_config),
+            clip_to=Rect.unit_square(),
+        )
+        assert expected.region != wrong.region
+
+    def test_host_region_still_covers_cluster(
+        self, small_dataset, small_graph, small_config
+    ):
+        engine = CloakingEngine(
+            small_dataset, small_graph, small_config, policy="secure"
+        )
+        first = engine.request(0)
+        host = max(first.cluster.members)
+        engine.invalidate_region(first.cluster.members)
+        result = engine.request(host)
+        for member in result.cluster.members:
+            assert result.region.rect.contains(small_dataset[member])
+
+
+class TestRegionInvalidation:
+    def test_invalidate_forces_rebound(
+        self, small_dataset, small_graph, small_config
+    ):
+        engine = CloakingEngine(small_dataset, small_graph, small_config)
+        first = engine.request(0)
+        members = first.cluster.members
+        assert engine.regions_cached == 1
+        assert engine.invalidate_region(members)
+        assert engine.regions_cached == 0
+        # Second invalidation of the same cluster is a no-op.
+        assert not engine.invalidate_region(members)
+        rebuilt = engine.request(0)
+        assert not rebuilt.region_from_cache
+        assert rebuilt.bounding_messages > 0
+        # Region ids stay unique across invalidations.
+        assert rebuilt.region.cluster_id != first.region.cluster_id
+
+    def test_invalidate_accepts_any_iterable(
+        self, small_dataset, small_graph, small_config
+    ):
+        engine = CloakingEngine(small_dataset, small_graph, small_config)
+        members = engine.request(0).cluster.members
+        assert engine.invalidate_region(sorted(members))
+
+    def test_clear_regions(self, small_dataset, small_graph, small_config):
+        engine = CloakingEngine(small_dataset, small_graph, small_config)
+        engine.request(0)
+        hosts = [h for h in range(1, 50) if h not in engine.request(0).cluster.members]
+        engine.request(hosts[0])
+        count = engine.regions_cached
+        assert count >= 2
+        assert engine.clear_regions() == count
+        assert engine.regions_cached == 0
+        assert engine.clear_regions() == 0
+
+
 class TestCustomClusteringService:
     def test_engine_with_hilbert_asr(self, small_dataset, small_graph, small_config):
         """The engine accepts any phase-1 service, e.g. the hilbASR baseline."""

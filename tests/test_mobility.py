@@ -99,3 +99,15 @@ class TestRegionLifetime:
         text = result.format()
         assert "region lifetime" in text.lower()
         assert "members still covered" in text
+        assert "regions invalidated" in text
+
+    def test_stale_regions_invalidated(self, result):
+        """Position updates drop stale cached regions from the engine."""
+        counts = result.regions_invalidated
+        assert len(counts) == len(result.times)
+        assert counts[0] == 0
+        # Cumulative: monotone non-decreasing.
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+        # The fixture's regions demonstrably decay (see the test above),
+        # so at least one cached region must have been invalidated.
+        assert counts[-1] >= 1

@@ -130,6 +130,73 @@ def test_property_indexes_agree(pts, radius):
     )
 
 
+class TestNearestNeighborTermination:
+    """Regression: expanding-ring search must stop at the radius limit.
+
+    Points in ring r are at least (r - 1) * cell_size from the center, so
+    once that lower bound exceeds ``max_radius`` no outer ring can
+    contribute — the search used to keep walking rings whenever *any*
+    point had ever been collected, turning sparse queries into full-grid
+    sweeps.
+    """
+
+    @staticmethod
+    def _spy_rings(index, monkeypatch):
+        rings: list[int] = []
+        original = index._ring_cells
+
+        def spy(ccx, ccy, ring):
+            rings.append(ring)
+            return original(ccx, ccy, ring)
+
+        monkeypatch.setattr(index, "_ring_cells", spy)
+        return rings
+
+    def test_sparse_population_stops_at_radius(self, monkeypatch):
+        # Three points near the origin, five far away: a 100x100 grid in
+        # which the limit (0.05 = 5 cells) is crossed long before the far
+        # corner.  count exceeds the in-range population, so only the
+        # ring lower bound can end the search.
+        near = [Point(0.004 + 0.003 * i, 0.005) for i in range(3)]
+        far = [Point(0.9 + 0.01 * i, 0.9) for i in range(5)]
+        index = GridIndex(near + far, cell_size=0.01)
+        rings = self._spy_rings(index, monkeypatch)
+        got = index.nearest_neighbors(Point(0.005, 0.005), 8, max_radius=0.05)
+        assert sorted(got) == [0, 1, 2]
+        # (ring - 1) * 0.01 > 0.05 first holds at ring 7.
+        assert max(rings) <= 7
+
+    def test_whole_population_found_short_circuits(self, monkeypatch):
+        # No radius limit and count > population: once every indexed
+        # point is collected the remaining rings are provably empty.
+        points = [Point(0.5 + 0.001 * i, 0.5) for i in range(3)]
+        index = GridIndex(points, cell_size=0.01)
+        rings = self._spy_rings(index, monkeypatch)
+        got = index.nearest_neighbors(Point(0.5, 0.5), 10)
+        assert sorted(got) == [0, 1, 2]
+        assert max(rings) <= 1
+
+    def test_tie_at_radius_boundary_included(self):
+        # Exact binary arithmetic: distance 0.25 == max_radius 0.25.
+        points = [Point(0.25, 0.5), Point(0.25, 0.500001), Point(0.25, 0.26)]
+        index = GridIndex(points, cell_size=0.01)
+        got = index.nearest_neighbors(Point(0.25, 0.25), 10, max_radius=0.25)
+        assert got == [2, 0]  # boundary point in, just-beyond point out
+
+    def test_sparse_matches_brute_force(self):
+        rng = np.random.default_rng(11)
+        points = [Point(float(x), float(y)) for x, y in rng.random((12, 2))]
+        index = GridIndex(points, cell_size=0.01)  # 100x100 grid, 12 points
+        for center in [Point(0.1, 0.1), Point(0.5, 0.5), Point(0.95, 0.2)]:
+            for radius in [0.05, 0.2, 0.7]:
+                got = index.nearest_neighbors(center, 5, max_radius=radius)
+                want = sorted(
+                    (i for i in brute_radius(points, center, radius)),
+                    key=lambda i: (center.squared_distance_to(points[i]), i),
+                )[:5]
+                assert got == want
+
+
 class TestNeighborFinder:
     def test_peers_exclude_self(self, population):
         finder = NeighborFinder(population, cell_size=0.1)
