@@ -1,17 +1,25 @@
 """WPG construction and request-path throughput at production scale.
 
 Regenerates ``BENCH_wpg.json``: scalar vs vectorized build times with an
-edge-level equality cross-check, plus batched request throughput and
-region-cache hit rate, at each population size.  Run as a script::
+edge-level equality cross-check, plus batched request throughput,
+region-cache hit rate, and an LBS request-cost pass, at each population
+size.  Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_wpg_scale.py \
         --sizes 10000,50000 --requests 2000 --out BENCH_wpg.json
 
-The output schema (``bench_wpg/v1``)::
+With ``--obs`` (or ``REPRO_OBS=1``) the run records itself through
+:mod:`repro.obs` and each size record gains an ``obs`` section: the
+per-phase wall-time breakdown (``wpg_build`` / ``clustering`` /
+``bounding`` / ``server``), its coverage of the measured wall time, and
+the full metrics snapshot (readable with ``python -m repro.obs.report``).
+
+The output schema (``bench_wpg/v2``)::
 
     {
-      "schema": "bench_wpg/v1",
+      "schema": "bench_wpg/v2",
       "max_peers": 10, "k": 10, "seed": 3, "requests": 2000,
+      "obs_enabled": false,
       "sizes": [
         {
           "users": 50000, "delta": 0.0029, "edges": 172660,
@@ -22,6 +30,16 @@ The output schema (``bench_wpg/v1``)::
           "requests": {
             "count": 2000, "seconds": ...,
             "requests_per_second": ..., "cache_hit_rate": ...
+          },
+          "server": {
+            "pois": 2000, "seconds": ..., "cost_messages": ...
+          },
+          "obs": {                      # only with --obs / REPRO_OBS=1
+            "phases": {"wpg_build": ..., "clustering": ...,
+                       "bounding": ..., "server": ...},
+            "total_wall_seconds": ...,
+            "coverage_of_wall": ...,
+            "snapshot": { ... }         # obs/v1 snapshot
           }
         }, ...
       ]
@@ -29,7 +47,8 @@ The output schema (``bench_wpg/v1``)::
 
 The file is a plain script (no pytest fixtures) so ``pytest benchmarks/``
 collects nothing from it; the CI smoke invokes it at a small population
-and validates the emitted JSON.
+and validates the emitted JSON (including the obs snapshot against
+``benchmarks/obs_snapshot_schema.json``).
 """
 
 from __future__ import annotations
@@ -42,15 +61,20 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.cloaking.engine import CloakingEngine
 from repro.config import SimulationConfig
 from repro.datasets.california import california_like_poi
 from repro.experiments.workloads import clusterable_users
 from repro.graph.build import build_wpg, build_wpg_fast
+from repro.obs import names as metric
+from repro.server.costs import request_cost_messages
+from repro.server.poidb import POIDatabase
 
 PAPER_USERS = 104_770
 PAPER_DELTA = 2e-3
 MAX_PEERS = 10
+SERVER_POIS = 2_000
 
 
 def scaled_delta(users: int) -> float:
@@ -62,8 +86,17 @@ def edge_dict(graph) -> dict[tuple[int, int], float]:
     return {edge.key(): edge.weight for edge in graph.edges()}
 
 
+def _span_total(snapshot: dict, name: str) -> float:
+    """Total recorded seconds of span ``name`` (0 when it never fired)."""
+    entry = snapshot["spans"].get(name)
+    return entry["total"] if entry else 0.0
+
+
 def bench_size(users: int, requests: int, seed: int) -> dict:
     """Benchmark one population size; returns the per-size JSON record."""
+    if obs.enabled():
+        obs.reset()  # one observation window per population size
+
     dataset = california_like_poi(users, seed=seed)
     delta = scaled_delta(users)
 
@@ -93,7 +126,16 @@ def bench_size(users: int, requests: int, seed: int) -> dict:
     request_seconds = time.perf_counter() - t0
     hits = sum(1 for r in results if r.region_from_cache)
 
-    return {
+    # The service-request leg: charge every cloaked region at the LBS
+    # server (Cr per candidate POI), one query per served request.
+    db = POIDatabase(california_like_poi(SERVER_POIS, seed=seed + 1))
+    t0 = time.perf_counter()
+    cost_messages = sum(
+        request_cost_messages(db, r.region.rect, config) for r in results
+    )
+    server_seconds = time.perf_counter() - t0
+
+    record = {
         "users": users,
         "delta": delta,
         "edges": fast.edge_count,
@@ -109,7 +151,31 @@ def bench_size(users: int, requests: int, seed: int) -> dict:
             "requests_per_second": round(len(results) / request_seconds, 1),
             "cache_hit_rate": round(hits / len(results), 4),
         },
+        "server": {
+            "pois": SERVER_POIS,
+            "seconds": round(server_seconds, 4),
+            "cost_messages": cost_messages,
+        },
     }
+    if obs.enabled():
+        snapshot = obs.snapshot()
+        # The four pipeline phases, measured from the inside by their
+        # spans.  wpg_build covers the vectorized build only — the scalar
+        # rebuild above is the cross-check, not part of the pipeline.
+        phases = {
+            "wpg_build": _span_total(snapshot, metric.SPAN_BUILD_FAST),
+            "clustering": _span_total(snapshot, metric.SPAN_CLUSTERING),
+            "bounding": _span_total(snapshot, metric.SPAN_BOUNDING),
+            "server": _span_total(snapshot, metric.SPAN_REQUEST_COST),
+        }
+        total_wall = fast_seconds + request_seconds + server_seconds
+        record["obs"] = {
+            "phases": {name: round(value, 4) for name, value in phases.items()},
+            "total_wall_seconds": round(total_wall, 4),
+            "coverage_of_wall": round(sum(phases.values()) / total_wall, 4),
+            "snapshot": snapshot,
+        }
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -131,7 +197,14 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_wpg.json",
         help="output path (default: BENCH_wpg.json)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="record per-phase breakdowns via repro.obs (also: REPRO_OBS=1)",
+    )
     args = parser.parse_args(argv)
+    if args.obs:
+        obs.enable()
     if args.requests < 1:
         parser.error(f"--requests must be >= 1, got {args.requests}")
     sizes = [int(s) for s in args.sizes.split(",") if s]
@@ -151,14 +224,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{reqs['requests_per_second']} req/s, "
             f"cache hit rate {reqs['cache_hit_rate']}"
         )
+        if "obs" in record:
+            phases = record["obs"]["phases"]
+            breakdown = ", ".join(f"{k} {v}s" for k, v in phases.items())
+            print(
+                f"  phases: {breakdown} "
+                f"(covers {record['obs']['coverage_of_wall']:.0%} of wall)"
+            )
         records.append(record)
 
     payload = {
-        "schema": "bench_wpg/v1",
+        "schema": "bench_wpg/v2",
         "max_peers": MAX_PEERS,
         "k": SimulationConfig().k,
         "seed": args.seed,
         "requests": args.requests,
+        "obs_enabled": obs.enabled(),
         "sizes": records,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")

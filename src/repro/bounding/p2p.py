@@ -18,9 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.errors import BoundingError, ConfigurationError
 from repro.bounding.policies import IncrementPolicy
-from repro.bounding.protocol import BoundingOutcome
+from repro.bounding.protocol import BoundingOutcome, _record_run
 from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
 
 
@@ -97,6 +98,11 @@ def p2p_upper_bound(
         agreement_intervals=intervals,
         agreement_rounds=rounds,
     )
+    if obs.enabled():
+        # Same canonical counters as the analytic protocol: one
+        # verification round trip == one unit of Cb, whichever layer
+        # carried it.
+        _record_run(outcome)
     return P2PBoundingReport(
         outcome=outcome,
         messages_sent=network.stats.sent - sent_before,

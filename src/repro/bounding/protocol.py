@@ -14,11 +14,14 @@ and do not abort, but may record everything they see.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.errors import BoundingError, ConfigurationError
 from repro.bounding.policies import IncrementPolicy
+from repro.obs import names as metric
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,7 +35,8 @@ class BoundingOutcome:
     known to lie — the protocol's information leak.  ``agreement_rounds``
     maps each participant to the iteration in which it agreed (0 for
     members the starting bound already covered); the latency estimators
-    reconstruct per-round participation from it.
+    reconstruct per-round participation from it.  A call site that omits
+    it gets the conservative reading — everyone agreed in the last round.
     """
 
     bound: float
@@ -40,16 +44,32 @@ class BoundingOutcome:
     iterations: int
     messages: int
     agreement_intervals: dict[int, tuple[float, float]]
-    agreement_rounds: dict[int, int] = None  # type: ignore[assignment]
+    agreement_rounds: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.agreement_rounds is None:
-            # Older call sites: assume everyone agreed in the last round.
+        if not self.agreement_rounds and self.agreement_intervals:
+            # Omitted by the call site: assume everyone agreed in the
+            # last round (the loosest latency reading).
             object.__setattr__(
                 self,
                 "agreement_rounds",
                 {index: self.iterations for index in self.agreement_intervals},
             )
+
+    @property
+    def exposed_users(self) -> int:
+        """Participants pinned to a *finite* agreement interval.
+
+        The protocol's information leak, counted: a user that verified at
+        least one bound has its xi confined to ``(last_disagreed,
+        first_agreed]``; users the starting bound already covered leak
+        nothing (their interval is ``(-inf, start]``).
+        """
+        return sum(
+            1
+            for low, _high in self.agreement_intervals.values()
+            if math.isfinite(low)
+        )
 
     @property
     def extent(self) -> float:
@@ -109,7 +129,7 @@ def progressive_upper_bound(
             intervals[index] = (previous, bound)
             rounds[index] = iterations
             del disagreeing[index]
-    return BoundingOutcome(
+    outcome = BoundingOutcome(
         bound=bound,
         start=start,
         iterations=iterations,
@@ -117,6 +137,24 @@ def progressive_upper_bound(
         agreement_intervals=intervals,
         agreement_rounds=rounds,
     )
+    if obs.enabled():
+        _record_run(outcome)
+    return outcome
+
+
+def _record_run(outcome: BoundingOutcome) -> None:
+    """Fold one finished run into the registry (aggregates, not per-loop).
+
+    ``bounding.verifications`` is the canonical Cb counter — the
+    message-level p2p layer reports its round trips through the same
+    name, so the two accountings stay directly comparable
+    (see ``tests/test_obs.py``).
+    """
+    obs.inc(metric.BOUNDING_RUNS)
+    obs.inc(metric.BOUNDING_ITERATIONS, outcome.iterations)
+    obs.inc(metric.BOUNDING_VERIFICATIONS, outcome.messages)
+    obs.inc(metric.BOUNDING_EXPOSED_USERS, outcome.exposed_users)
+    obs.observe(metric.BOUNDING_ITERATIONS_PER_RUN, outcome.iterations)
 
 
 def optimal_bound(values: Sequence[float]) -> float:

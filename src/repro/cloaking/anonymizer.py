@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.errors import ClusteringError, ConfigurationError
 from repro.clustering.base import ClusterRegistry, ClusterResult, Partition
+from repro.obs import names as metric
 from repro.clustering.centralized import Method, centralized_k_clustering
 from repro.graph.wpg import WeightedProximityGraph
 
@@ -72,7 +74,14 @@ class CentralizedAnonymizer:
         involved = 0
         if not self._partitioned:
             involved = self._graph.vertex_count - 1
-            self._partition_all()
+            with obs.span(metric.SPAN_PARTITION_ALL):
+                self._partition_all()
+        if obs.enabled():
+            obs.inc(metric.CLUSTERING_REQUESTS)
+            if involved:
+                obs.inc(metric.CLUSTERING_INVOLVED_USERS, involved)
+            else:
+                obs.inc(metric.CLUSTERING_CACHE_HITS)
         cluster = self._registry.cluster_of(host)
         if cluster is None:
             raise ClusteringError(

@@ -23,10 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Literal, Optional, Protocol
 
+from repro import obs
 from repro.config import SimulationConfig
 from repro.datasets.base import PointDataset
 from repro.errors import ConfigurationError
 from repro.geometry.rect import Rect
+from repro.obs import names as metric
 from repro.clustering.base import ClusterResult
 from repro.clustering.distributed import DistributedClustering
 from repro.cloaking.anonymizer import CentralizedAnonymizer
@@ -37,6 +39,9 @@ from repro.bounding.presets import paper_policy
 from repro.graph.wpg import WeightedProximityGraph
 
 Mode = Literal["distributed", "centralized"]
+
+#: Cloaked-region area histogram buckets: powers of 4 up to the unit square.
+_AREA_BUCKETS = tuple(4.0**exp for exp in range(-9, 1))
 
 #: Builds the per-direction increment policy for a cluster of a given size;
 #: ``None`` selects the OPT baseline (exact bounding box, locations exposed).
@@ -160,9 +165,21 @@ class CloakingEngine:
 
     def request(self, host: int) -> CloakingResult:
         """Serve one cloaking request end to end."""
-        cluster_result = self._clustering.request(host)
+        with obs.span(metric.SPAN_REQUEST):
+            return self._request(host)
+
+    def _request(self, host: int) -> CloakingResult:
+        with obs.span(metric.SPAN_CLUSTERING):
+            cluster_result = self._clustering.request(host)
         members = cluster_result.members
         cached = self._regions.get(members)
+        if obs.enabled():
+            obs.inc(metric.CLOAKING_REQUESTS)
+            obs.inc(
+                metric.CLOAKING_CACHE_HITS
+                if cached is not None
+                else metric.CLOAKING_CACHE_MISSES
+            )
         if cached is not None:
             return CloakingResult(
                 host=host,
@@ -172,7 +189,8 @@ class CloakingEngine:
                 bounding_messages=0,
                 region_from_cache=True,
             )
-        region, bounding_messages = self._bound(members, host)
+        with obs.span(metric.SPAN_BOUNDING):
+            region, bounding_messages = self._bound(members, host)
         region = self._enforce_granularity(region)
         cloaked = CloakedRegion(
             rect=region,
@@ -181,6 +199,11 @@ class CloakingEngine:
         )
         self._next_region_id += 1
         self._regions[members] = cloaked
+        if obs.enabled():
+            obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, len(self._regions))
+            obs.observe(
+                metric.CLOAKING_REGION_AREA, region.area, bounds=_AREA_BUCKETS
+            )
         return CloakingResult(
             host=host,
             region=cloaked,
@@ -199,13 +222,19 @@ class CloakingEngine:
         of a round trip through the phase-1 service.  Only hosts that
         still need clustering or bounding fall through to the full path.
         """
+        with obs.span(metric.SPAN_REQUEST_MANY):
+            return self._request_many(hosts)
+
+    def _request_many(self, hosts: Iterable[int]) -> list[CloakingResult]:
         registry = self._clustering.registry
         regions = self._regions
         results: list[CloakingResult] = []
+        fast_hits = 0
         for host in hosts:
             members = registry.cluster_of(host)
             cached = regions.get(members) if members is not None else None
             if members is not None and cached is not None:
+                fast_hits += 1
                 # Exactly the answer request() assembles for an
                 # already-clustered host with a cached region: every
                 # phase-1 service reports such hits as involved=0,
@@ -227,6 +256,11 @@ class CloakingEngine:
                 )
             else:
                 results.append(self.request(host))
+        if fast_hits and obs.enabled():
+            # The fast path skips request(), so its accounting lands here
+            # in one batched update instead of per-host increments.
+            obs.inc(metric.CLOAKING_REQUESTS, fast_hits)
+            obs.inc(metric.CLOAKING_CACHE_HITS, fast_hits)
         return results
 
     def invalidate_region(self, members: Iterable[int]) -> bool:
@@ -236,12 +270,19 @@ class CloakingEngine:
         no longer covers the cluster and must be rebuilt on the next
         request.  Returns True when a cached region was dropped.
         """
-        return self._regions.pop(frozenset(members), None) is not None
+        dropped = self._regions.pop(frozenset(members), None) is not None
+        if dropped and obs.enabled():
+            obs.inc(metric.CLOAKING_REGIONS_INVALIDATED)
+            obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, len(self._regions))
+        return dropped
 
     def clear_regions(self) -> int:
         """Invalidate every cached region; returns how many were dropped."""
         dropped = len(self._regions)
         self._regions.clear()
+        if dropped and obs.enabled():
+            obs.inc(metric.CLOAKING_REGIONS_INVALIDATED, dropped)
+            obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, 0)
         return dropped
 
     def _enforce_granularity(self, region: Rect) -> Rect:

@@ -43,8 +43,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Container, Optional
 
+from repro import obs
 from repro.errors import ClusteringError, ConfigurationError
 from repro.clustering.base import ClusterRegistry, ClusterResult, InvolvementMeter
+from repro.obs import names as metric
 from repro.clustering.centralized import Method, centralized_k_clustering
 from repro.graph.components import external_border, t_component
 from repro.graph.wpg import WeightedProximityGraph
@@ -124,6 +126,9 @@ class DistributedClustering:
             raise ClusteringError(f"unknown host {host}")
         cached = self._registry.cluster_of(host)
         if cached is not None:
+            if obs.enabled():
+                obs.inc(metric.CLUSTERING_REQUESTS)
+                obs.inc(metric.CLUSTERING_CACHE_HITS)
             return ClusterResult(host, cached, involved=0, from_cache=True)
         return None
 
@@ -138,16 +143,20 @@ class DistributedClustering:
             raise ClusteringError(f"unknown host {host}")
         if host in self._registry:
             raise ClusteringError(f"host {host} is already clustered")
-        exclude = self._registry.assigned_view()
-        meter = InvolvementMeter(host)
-        cluster, t = self._smallest_valid_cluster(host, exclude, meter)
-        cluster, t = self._enforce_isolation(cluster, t, exclude, meter)
+        with obs.span(metric.SPAN_PROPOSE):
+            exclude = self._registry.assigned_view()
+            meter = InvolvementMeter(host)
+            cluster, t = self._smallest_valid_cluster(host, exclude, meter)
+            cluster, t = self._enforce_isolation(cluster, t, exclude, meter)
 
-        # Step 3: carve the minimum-MEW clusters out of the gathered set.
-        partition = centralized_k_clustering(
-            self._graph, self._k, method=self._method, vertices=cluster
-        )
-        partition.validate()
+            # Step 3: carve the minimum-MEW clusters out of the gathered set.
+            partition = centralized_k_clustering(
+                self._graph, self._k, method=self._method, vertices=cluster
+            )
+            partition.validate()
+        if obs.enabled():
+            obs.inc(metric.CLUSTERING_REQUESTS)
+            obs.inc(metric.CLUSTERING_INVOLVED_USERS, meter.count)
         return ClusterProposal(
             host=host,
             groups=[frozenset(group) for group in partition.clusters],
@@ -196,6 +205,7 @@ class DistributedClustering:
         heap: list[tuple[float, int, int]] = []  # (weight, vertex, via)
         self._push_neighbors(host, cluster, exclude, heap)
         t = 0.0
+        absorbed = 0
         while len(cluster) < self._k:
             popped = self._pop_new(heap, cluster)
             if popped is None:
@@ -205,8 +215,13 @@ class DistributedClustering:
             weight, vertex = popped
             t = max(t, weight)
             cluster.add(vertex)
+            absorbed += 1
             meter.touch(vertex)
             self._push_neighbors(vertex, cluster, exclude, heap)
+        if absorbed and obs.enabled():
+            # One MEW absorption per Prim pop; reported per run, not per
+            # loop iteration, to keep the hot path clean.
+            obs.inc(metric.CLUSTERING_MEW_ITERATIONS, absorbed)
         if self._closure:
             # Absorb everything still t-reachable (full equivalence class).
             while heap and heap[0][0] <= t:
@@ -257,14 +272,18 @@ class DistributedClustering:
         """Grow the cluster until Theorem 4.4's border condition holds."""
         queue = deque(sorted(self._border_of(cluster, exclude)))
         passed: set[int] = set()
+        checks = 0
+        merges = 0
         while queue:
             vertex = queue.popleft()
             if vertex in cluster or vertex in passed:
                 continue
             meter.touch(vertex)
+            checks += 1
             if self._has_valid_t_cluster(vertex, t, cluster, exclude, meter):
                 passed.add(vertex)
                 continue
+            merges += 1
             # Merge the failing border vertex and re-close at the new t.
             connect_weight = min(
                 weight
@@ -279,6 +298,9 @@ class DistributedClustering:
                 cluster = t_component_multi(self._graph, cluster, t, exclude)
             meter.touch_all(cluster - before)
             queue.extend(sorted(self._border_of(cluster, exclude) - passed))
+        if checks and obs.enabled():
+            obs.inc(metric.CLUSTERING_ISOLATION_CHECKS, checks)
+            obs.inc(metric.CLUSTERING_ISOLATION_MERGES, merges)
         return cluster, t
 
     def _border_of(self, cluster: set[int], exclude: Container[int]) -> set[int]:

@@ -19,12 +19,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.config import SimulationConfig
 from repro.datasets.base import PointDataset
 from repro.errors import ConfigurationError
 from repro.graph.wpg import WeightedProximityGraph
+from repro.obs import names as metric
 from repro.radio.measurement import ProximityMeter
 from repro.spatial.neighbors import NeighborFinder
+
+
+def _record_build(graph: WeightedProximityGraph) -> None:
+    """Report one finished WPG construction into the registry."""
+    obs.inc(metric.WPG_BUILDS)
+    obs.set_gauge(metric.WPG_VERTICES, graph.vertex_count)
+    obs.set_gauge(metric.WPG_EDGES, graph.edge_count)
 
 
 def build_wpg(
@@ -61,28 +70,32 @@ def build_wpg(
     if finder is None:
         finder = NeighborFinder(dataset, kind="grid", cell_size=delta)
 
-    graph = WeightedProximityGraph()
-    # Each user's connected peer list: the M nearest within delta, in the
-    # meter's closeness order (rank 1 first).
-    peer_lists: list[list[int]] = []
-    for user in range(len(dataset)):
-        graph.add_vertex(user)
-        nearby = finder.peers_in_range(user, delta)
-        ranked = meter.rank_peers(user, nearby)
-        peer_lists.append(ranked[:max_peers])
+    with obs.span(metric.SPAN_BUILD_SCALAR):
+        graph = WeightedProximityGraph()
+        # Each user's connected peer list: the M nearest within delta, in
+        # the meter's closeness order (rank 1 first).
+        peer_lists: list[list[int]] = []
+        for user in range(len(dataset)):
+            graph.add_vertex(user)
+            nearby = finder.peers_in_range(user, delta)
+            ranked = meter.rank_peers(user, nearby)
+            peer_lists.append(ranked[:max_peers])
 
-    # Mutual-rank edge weights.  rank_of[u][v] = v's 1-based rank in u's list.
-    rank_of: list[dict[int, int]] = [
-        {peer: rank for rank, peer in enumerate(peers, start=1)}
-        for peers in peer_lists
-    ]
-    for user, peers in enumerate(peer_lists):
-        for rank, peer in enumerate(peers, start=1):
-            if graph.has_edge(user, peer):
-                continue
-            back_rank = rank_of[peer].get(user)
-            weight = rank if back_rank is None else min(rank, back_rank)
-            graph.add_edge(user, peer, float(weight))
+        # Mutual-rank edge weights.  rank_of[u][v] = v's 1-based rank in
+        # u's list.
+        rank_of: list[dict[int, int]] = [
+            {peer: rank for rank, peer in enumerate(peers, start=1)}
+            for peers in peer_lists
+        ]
+        for user, peers in enumerate(peer_lists):
+            for rank, peer in enumerate(peers, start=1):
+                if graph.has_edge(user, peer):
+                    continue
+                back_rank = rank_of[peer].get(user)
+                weight = rank if back_rank is None else min(rank, back_rank)
+                graph.add_edge(user, peer, float(weight))
+    if obs.enabled():
+        _record_build(graph)
     return graph
 
 
@@ -129,42 +142,47 @@ def build_wpg_fast(
         finder = NeighborFinder(dataset, kind="grid", cell_size=delta)
     n = len(dataset)
 
-    # Stage 1: all delta-neighborhoods at once (self already excluded).
-    indptr, nbrs = finder.batch_peers_in_range(delta)
-    counts = np.diff(indptr)
-    users = np.repeat(np.arange(n, dtype=np.int64), counts)
+    with obs.span(metric.SPAN_BUILD_FAST):
+        # Stage 1: all delta-neighborhoods at once (self already excluded).
+        indptr, nbrs = finder.batch_peers_in_range(delta)
+        counts = np.diff(indptr)
+        users = np.repeat(np.arange(n, dtype=np.int64), counts)
 
-    # Stage 2: rank every neighborhood (closest first, ties by id).
-    ranked = meter.rank_all(indptr, nbrs)
+        # Stage 2: rank every neighborhood (closest first, ties by id).
+        ranked = meter.rank_all(indptr, nbrs)
 
-    # Stage 3: keep each user's M nearest; 1-based ranks within the keep.
-    positions = np.arange(len(ranked), dtype=np.int64) - np.repeat(
-        indptr[:-1], counts
-    )
-    kept = positions < max_peers
-    u = users[kept]
-    v = ranked[kept]
-    ranks = (positions[kept] + 1).astype(float)
-
-    # Mutual-rank reduction: group directed picks by canonical pair and
-    # take the minimum rank — rank alone when only one side picked.
-    lo = np.minimum(u, v)
-    hi = np.maximum(u, v)
-    keys = lo * np.int64(n) + hi
-    order = np.argsort(keys, kind="stable")
-    keys_sorted = keys[order]
-    ranks_sorted = ranks[order]
-    if len(keys_sorted) == 0:
-        graph = WeightedProximityGraph.from_arrays(n, [], [], [])
-    else:
-        starts = np.flatnonzero(
-            np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
+        # Stage 3: keep each user's M nearest; 1-based ranks within the
+        # keep.
+        positions = np.arange(len(ranked), dtype=np.int64) - np.repeat(
+            indptr[:-1], counts
         )
-        weights = np.minimum.reduceat(ranks_sorted, starts)
-        pair_keys = keys_sorted[starts]
-        graph = WeightedProximityGraph.from_arrays(
-            n, pair_keys // n, pair_keys % n, weights
-        )
+        kept = positions < max_peers
+        u = users[kept]
+        v = ranked[kept]
+        ranks = (positions[kept] + 1).astype(float)
+
+        # Mutual-rank reduction: group directed picks by canonical pair
+        # and take the minimum rank — rank alone when only one side
+        # picked.
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keys = lo * np.int64(n) + hi
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        ranks_sorted = ranks[order]
+        if len(keys_sorted) == 0:
+            graph = WeightedProximityGraph.from_arrays(n, [], [], [])
+        else:
+            starts = np.flatnonzero(
+                np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
+            )
+            weights = np.minimum.reduceat(ranks_sorted, starts)
+            pair_keys = keys_sorted[starts]
+            graph = WeightedProximityGraph.from_arrays(
+                n, pair_keys // n, pair_keys % n, weights
+            )
+    if obs.enabled():
+        _record_build(graph)
 
     if validate:
         _check_equal(graph, build_wpg(dataset, delta, max_peers, meter=meter))

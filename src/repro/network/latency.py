@@ -24,8 +24,10 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.bounding.protocol import BoundingOutcome
+from repro.obs import names as metric
 
 
 class LatencyModel:
@@ -116,6 +118,12 @@ def cloaking_latency(
         bounding_run_latency(outcome, model) for outcome in directions.values()
     ]
     if not run_latencies:
-        return phase1
-    phase2 = max(run_latencies) if parallel_directions else sum(run_latencies)
-    return phase1 + phase2
+        total = phase1
+    else:
+        phase2 = max(run_latencies) if parallel_directions else sum(run_latencies)
+        total = phase1 + phase2
+    if obs.enabled():
+        obs.observe(
+            metric.NETWORK_LATENCY_SECONDS, total, bounds=obs.SECONDS_BUCKETS
+        )
+    return total

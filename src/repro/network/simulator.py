@@ -14,9 +14,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.errors import ProtocolError
 from repro.network.failures import FailurePlan
 from repro.network.message import Message, MessageStats
+from repro.obs import names as metric
 
 Handler = Callable[[int, Any], Any]
 
@@ -75,25 +77,42 @@ class PeerNetwork:
         if handlers is None or kind not in handlers:
             raise ProtocolError(f"peer {recipient} has no handler for {kind!r}")
         budget = self._default_retries if retries is None else retries
+        recording = obs.enabled()
+        if recording:
+            obs.inc(metric.NETWORK_CALLS)
         if recipient in self._failures.crashed:
             # The caller still wastes its request messages discovering this.
             for _attempt in range(budget + 1):
                 self.stats.record(Message(sender, recipient, kind, payload))
                 self.stats.record_drop(Message(sender, recipient, kind, payload))
+            if recording:
+                obs.inc(metric.NETWORK_MESSAGES_SENT, budget + 1)
+                obs.inc(metric.NETWORK_MESSAGES_DROPPED, budget + 1)
+                obs.inc(metric.network_kind(kind), budget + 1)
             raise PeerCrashed(f"peer {recipient} is down")
         for attempt in range(budget + 1):
             request = Message(sender, recipient, kind, payload)
             self.stats.record(request)
+            if recording:
+                obs.inc(metric.NETWORK_MESSAGES_SENT)
+                obs.inc(metric.network_kind(kind))
             if self._failures.should_drop(sender, recipient):
                 self.stats.record_drop(request)
+                if recording:
+                    obs.inc(metric.NETWORK_MESSAGES_DROPPED)
                 continue
             result = handlers[kind](sender, payload)
             response = Message(
                 recipient, sender, f"{kind}:reply", result, size=response_size
             )
             self.stats.record(response)
+            if recording:
+                obs.inc(metric.NETWORK_MESSAGES_SENT)
+                obs.inc(metric.network_kind(response.kind))
             if self._failures.should_drop(recipient, sender):
                 self.stats.record_drop(response)
+                if recording:
+                    obs.inc(metric.NETWORK_MESSAGES_DROPPED)
                 continue
             return result
         raise MessageDropped(

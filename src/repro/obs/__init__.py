@@ -1,0 +1,81 @@
+"""obs — end-to-end observability for the two-phase cloaking pipeline.
+
+One process-local metrics registry (counters, gauges, fixed-bucket
+histograms), lightweight trace spans, and exporters (JSON snapshot,
+Prometheus text).  Every layer of the request path reports through the
+canonical names in :mod:`repro.obs.names`; when observability is
+disabled (the default) each instrumentation point costs one global load
+and one branch.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run requests
+    data = obs.snapshot()          # JSON-ready dict
+    print(obs.to_prometheus())     # Prometheus text format
+    obs.disable()
+
+Inspect a saved snapshot from the shell::
+
+    python -m repro.obs.report BENCH_wpg.json --top 10
+"""
+
+from repro.obs import names
+from repro.obs.export import (
+    load_snapshot,
+    prometheus_text,
+    snapshot,
+    to_prometheus,
+    validate_snapshot,
+    validate_snapshot_file,
+    write_snapshot,
+)
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    inc,
+    observe,
+    reset,
+    set_gauge,
+)
+from repro.obs.spans import SpanRecord, last_trace, recent_spans, reset_traces, span
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "SpanRecord",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "inc",
+    "last_trace",
+    "load_snapshot",
+    "names",
+    "observe",
+    "prometheus_text",
+    "recent_spans",
+    "reset",
+    "reset_traces",
+    "set_gauge",
+    "snapshot",
+    "span",
+    "to_prometheus",
+    "validate_snapshot",
+    "validate_snapshot_file",
+    "write_snapshot",
+]

@@ -1,0 +1,231 @@
+"""Snapshot export: JSON (for ``BENCH_*.json``), Prometheus text, validation.
+
+A *snapshot* is the plain-dict image of a registry at one instant —
+JSON-serialisable (infinities are nulled), diffable, and stable enough
+to check into benchmark artefacts.  The same snapshot feeds three
+consumers:
+
+* the benchmark harness merges it into ``BENCH_wpg.json`` so the perf
+  trajectory gains per-phase breakdowns;
+* :func:`to_prometheus` renders it in the Prometheus text exposition
+  format for scraping;
+* :func:`validate_snapshot` checks it against the checked-in schema
+  (``benchmarks/obs_snapshot_schema.json``) in CI — malformed metric
+  names or inconsistent histograms fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Histogram, MetricsRegistry, get_registry
+
+SNAPSHOT_SCHEMA = "obs/v1"
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    return value if math.isfinite(value) else None
+
+
+def _histogram_dict(metric: Histogram) -> dict:
+    return {
+        "count": metric.count,
+        "total": metric.total,
+        "mean": metric.mean,
+        "min": _finite_or_none(metric.min),
+        "max": _finite_or_none(metric.max),
+        "bounds": list(metric.bounds),
+        "bucket_counts": list(metric.bucket_counts),
+    }
+
+
+def snapshot(registry: Optional[MetricsRegistry] = None) -> dict:
+    """The JSON-ready image of ``registry`` (default: the active one).
+
+    Raises :class:`~repro.errors.ConfigurationError` when no registry is
+    given and observability is disabled — an empty snapshot would
+    silently report "nothing happened".
+    """
+    registry = registry if registry is not None else get_registry()
+    if registry is None:
+        raise ConfigurationError(
+            "no active metrics registry: call repro.obs.enable() first "
+            "(or set REPRO_OBS=1)"
+        )
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "counters": {n: m.value for n, m in sorted(registry.counters.items())},
+        "gauges": {n: m.value for n, m in sorted(registry.gauges.items())},
+        "histograms": {
+            n: _histogram_dict(m) for n, m in sorted(registry.histograms.items())
+        },
+        "spans": {
+            n: _histogram_dict(m) for n, m in sorted(registry.spans.items())
+        },
+    }
+
+
+def write_snapshot(path: Union[str, Path], registry: Optional[MetricsRegistry] = None) -> dict:
+    """Serialise :func:`snapshot` to ``path``; returns the snapshot."""
+    data = snapshot(registry)
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def load_snapshot(path: Union[str, Path]) -> dict:
+    """Load a snapshot file; accepts bare snapshots and ``BENCH_*.json``.
+
+    A benchmark file is recognised by its ``sizes`` list; the snapshot of
+    the *last* size record (the largest population) is returned.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict) and "sizes" in data:
+        candidates = [
+            size["obs"]["snapshot"]
+            for size in data["sizes"]
+            if isinstance(size, dict) and "obs" in size and "snapshot" in size["obs"]
+        ]
+        if not candidates:
+            raise ConfigurationError(
+                f"{path}: benchmark file has no obs snapshots "
+                "(was it produced with observability enabled?)"
+            )
+        return candidates[-1]
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{path}: not a snapshot object")
+    return data
+
+
+# -- Prometheus text format ------------------------------------------------------
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """Translate a dotted metric name into the Prometheus alphabet."""
+    return _PROM_INVALID.sub("_", name)
+
+
+def prometheus_text(data: dict) -> str:
+    """Render an already-serialised snapshot in Prometheus text format.
+
+    Dots become underscores (``cloaking.cache_hits`` →
+    ``cloaking_cache_hits_total``); histograms and spans render as the
+    standard ``_bucket``/``_sum``/``_count`` triplet with cumulative
+    ``le`` buckets (spans gain a ``_seconds`` unit suffix).
+    """
+    lines: list[str] = []
+    for name, value in data.get("counters", {}).items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in data.get("gauges", {}).items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for section, suffix in (("histograms", ""), ("spans", "_seconds")):
+        for name, hist in data.get(section, {}).items():
+            prom = _prom_name(name) + suffix
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in zip(hist["bounds"], hist["bucket_counts"]):
+                cumulative += count
+                lines.append(f'{prom}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {hist["count"]}')
+            lines.append(f"{prom}_sum {hist['total']}")
+            lines.append(f"{prom}_count {hist['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text for ``registry`` (default: the active one)."""
+    return prometheus_text(snapshot(registry))
+
+
+# -- schema validation -----------------------------------------------------------
+
+
+def validate_snapshot(data: object, schema: dict) -> list[str]:
+    """Check ``data`` against a checked-in snapshot schema; returns errors.
+
+    The schema (see ``benchmarks/obs_snapshot_schema.json``) declares the
+    expected ``schema`` tag, the metric-name regex, and the value kind of
+    each section (``number`` or ``histogram``).  An empty return means
+    the snapshot is valid.
+    """
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"snapshot is {type(data).__name__}, expected object"]
+    expected_tag = schema.get("schema", SNAPSHOT_SCHEMA)
+    if data.get("schema") != expected_tag:
+        errors.append(
+            f"schema tag {data.get('schema')!r}, expected {expected_tag!r}"
+        )
+    name_re = re.compile(schema.get("name_pattern", r"^[a-z][a-z0-9_.]*$"))
+    for section, kind in schema.get("sections", {}).items():
+        body = data.get(section)
+        if not isinstance(body, dict):
+            errors.append(f"section {section!r} missing or not an object")
+            continue
+        for name, value in body.items():
+            if not name_re.match(name):
+                errors.append(f"{section}: malformed metric name {name!r}")
+            errors.extend(
+                f"{section}.{name}: {problem}"
+                for problem in _check_value(value, kind)
+            )
+    return errors
+
+
+def _check_value(value: object, kind: str) -> list[str]:
+    if kind == "number":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return [f"expected a number, got {type(value).__name__}"]
+        if not math.isfinite(value):
+            return [f"non-finite value {value}"]
+        return []
+    if kind == "histogram":
+        if not isinstance(value, dict):
+            return [f"expected a histogram object, got {type(value).__name__}"]
+        problems: list[str] = []
+        count = value.get("count")
+        bounds = value.get("bounds")
+        buckets = value.get("bucket_counts")
+        if not isinstance(count, int) or count < 0:
+            problems.append(f"count must be a non-negative int, got {count!r}")
+        if not isinstance(bounds, list) or any(
+            b2 <= b1 for b1, b2 in zip(bounds or [], (bounds or [])[1:])
+        ):
+            problems.append("bounds must be a strictly ascending list")
+        if not isinstance(buckets, list) or (
+            isinstance(bounds, list) and len(buckets) != len(bounds) + 1
+        ):
+            problems.append("bucket_counts must have len(bounds) + 1 entries")
+        elif isinstance(count, int) and sum(buckets) != count:
+            problems.append(
+                f"bucket_counts sum {sum(buckets)} != count {count}"
+            )
+        if not isinstance(value.get("total"), (int, float)):
+            problems.append("total must be a number")
+        return problems
+    return [f"unknown schema kind {kind!r}"]
+
+
+def validate_snapshot_file(
+    snapshot_path: Union[str, Path], schema_path: Union[str, Path]
+) -> dict:
+    """Load, validate, and return a snapshot; raises on any violation."""
+    data = load_snapshot(snapshot_path)
+    schema = json.loads(Path(schema_path).read_text())
+    errors = validate_snapshot(data, schema)
+    if errors:
+        detail = "\n  ".join(errors)
+        raise ConfigurationError(
+            f"snapshot {snapshot_path} fails schema {schema_path}:\n  {detail}"
+        )
+    return data

@@ -1,0 +1,97 @@
+"""Canonical metric and span names, one constant per observable.
+
+Every instrumented layer imports its names from here instead of spelling
+strings inline, so two layers measuring the same quantity *cannot* drift
+apart (the bounding protocol and the message-level network both report
+verification round trips through :data:`BOUNDING_VERIFICATIONS`, and a
+test asserts they agree on an identical run).
+
+Naming scheme: ``<subsystem>.<quantity>``, lowercase, underscores inside
+segments — validated by :data:`~repro.obs.registry.NAME_RE` at metric
+creation.  Span names share the scheme; phase spans of the request path
+(``cloaking.clustering``, ``cloaking.bounding``, ``server.request_cost``,
+``wpg.build_fast``) are the per-phase columns of ``BENCH_wpg.json``.
+"""
+
+from __future__ import annotations
+
+import re
+
+# -- cloaking engine (request path) ----------------------------------------------
+
+CLOAKING_REQUESTS = "cloaking.requests"
+CLOAKING_CACHE_HITS = "cloaking.cache_hits"
+CLOAKING_CACHE_MISSES = "cloaking.cache_misses"
+CLOAKING_REGIONS_INVALIDATED = "cloaking.regions_invalidated"
+CLOAKING_REGIONS_CACHED = "cloaking.regions_cached"  # gauge
+CLOAKING_REGION_AREA = "cloaking.region_area"  # histogram
+
+SPAN_REQUEST = "cloaking.request"
+SPAN_REQUEST_MANY = "cloaking.request_many"
+SPAN_CLUSTERING = "cloaking.clustering"  # phase 1
+SPAN_BOUNDING = "cloaking.bounding"  # phase 2
+
+# -- clustering (phase 1 internals) ----------------------------------------------
+
+CLUSTERING_REQUESTS = "clustering.requests"
+CLUSTERING_CACHE_HITS = "clustering.cache_hits"
+CLUSTERING_INVOLVED_USERS = "clustering.involved_users"
+CLUSTERING_MEW_ITERATIONS = "clustering.mew_iterations"
+CLUSTERING_ISOLATION_CHECKS = "clustering.isolation_checks"
+CLUSTERING_ISOLATION_MERGES = "clustering.isolation_merges"
+
+SPAN_PROPOSE = "clustering.propose"
+SPAN_PARTITION_ALL = "clustering.partition_all"
+
+# -- secure bounding (phase 2 internals) -----------------------------------------
+
+BOUNDING_RUNS = "bounding.runs"
+BOUNDING_ITERATIONS = "bounding.iterations"
+#: Verification round trips, the paper's cost unit Cb.  Reported by the
+#: analytic protocol AND the message-level p2p layer — same name, same
+#: unit, so the two accountings are directly comparable.
+BOUNDING_VERIFICATIONS = "bounding.verifications"
+#: Users whose value was pinned to a finite agreement interval — the
+#: protocol's information leak (Section VII), first-class rather than a
+#: buried dict.
+BOUNDING_EXPOSED_USERS = "bounding.exposed_users"
+BOUNDING_ITERATIONS_PER_RUN = "bounding.iterations_per_run"  # histogram
+
+# -- WPG construction ------------------------------------------------------------
+
+WPG_BUILDS = "wpg.builds"
+WPG_VERTICES = "wpg.vertices"  # gauge
+WPG_EDGES = "wpg.edges"  # gauge
+
+SPAN_BUILD_SCALAR = "wpg.build_scalar"
+SPAN_BUILD_FAST = "wpg.build_fast"
+
+# -- peer network ----------------------------------------------------------------
+
+NETWORK_MESSAGES_SENT = "network.messages_sent"
+NETWORK_MESSAGES_DROPPED = "network.messages_dropped"
+NETWORK_CALLS = "network.calls"
+NETWORK_LATENCY_SECONDS = "network.latency_seconds"  # histogram (simulated)
+
+_KIND_SANITIZE = re.compile(r"[^a-z0-9_]+")
+
+
+def network_kind(kind: str) -> str:
+    """Per-message-kind counter name, e.g. ``network.messages.verify_bound``.
+
+    Message kinds are protocol-defined strings (``adjacency``,
+    ``verify_bound:reply``); anything outside the metric-name alphabet is
+    squashed to ``_`` so a kind can never produce a malformed name.
+    """
+    cleaned = _KIND_SANITIZE.sub("_", kind.lower()).strip("_") or "unknown"
+    return f"network.messages.{cleaned}"
+
+
+# -- LBS server ------------------------------------------------------------------
+
+SERVER_REQUESTS = "server.requests"
+SERVER_CANDIDATE_POIS = "server.candidate_pois"
+SERVER_COST_MESSAGES = "server.cost_messages"
+SERVER_CANDIDATES_PER_REQUEST = "server.candidates_per_request"  # histogram
+
+SPAN_REQUEST_COST = "server.request_cost"

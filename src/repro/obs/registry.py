@@ -1,0 +1,282 @@
+"""The process-local metrics registry (counters, gauges, histograms).
+
+The evaluation of the paper is an exercise in cost accounting — messages
+per cloaking request, bounding cost in units of Cb, cloaked-region area —
+and every layer of the pipeline needs to report into one place before
+any of it can be compared.  This module is that place: a plain-Python
+registry of named metrics, plus a module-level *active registry* switch
+so instrumentation can be compiled into every hot path and still cost
+essentially nothing when observability is off.
+
+Design rules (the whole module is built around them):
+
+* **Disabled means one branch.**  Every module-level helper (:func:`inc`,
+  :func:`observe`, :func:`set_gauge`) checks a single module global and
+  returns immediately when no registry is active.  No object allocation,
+  no dict lookup, no string formatting on the disabled path.
+* **Hot loops aggregate, then report.**  Instrumented code records *per
+  run*, never per loop iteration (the bounding protocol sums its
+  verification messages and reports once at the end of a run).
+* **Names are validated once**, at metric creation, against
+  :data:`NAME_RE` — dotted lowercase segments, e.g.
+  ``cloaking.cache_hits``.  Malformed names raise
+  :class:`~repro.errors.ConfigurationError` so they can never reach an
+  exported snapshot.
+
+Enable programmatically with :func:`enable` / :func:`disable`, or set
+``REPRO_OBS=1`` in the environment before the first import.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import os
+import re
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: Valid metric names: dotted lowercase segments, digits and underscores.
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: Default histogram bucket upper bounds for second-valued observations
+#: (spans): 1 us .. ~100 s in roughly 4x steps, plus +inf implicitly.
+SECONDS_BUCKETS: tuple[float, ...] = (
+    1e-6, 4e-6, 1.6e-5, 6.4e-5, 2.56e-4, 1.024e-3, 4.096e-3,
+    1.6384e-2, 6.5536e-2, 0.262144, 1.048576, 4.194304, 16.777216, 100.0,
+)
+
+#: Default buckets for count-valued observations (messages, iterations):
+#: powers of two up to 64k, plus +inf implicitly.
+COUNT_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(17))
+
+
+def _check_name(name: str) -> str:
+    if not NAME_RE.match(name):
+        raise ConfigurationError(
+            f"malformed metric name {name!r}: must match {NAME_RE.pattern}"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing total (float-valued: Cb costs fractional)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters only go up)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (population size, cache residency)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (either sign)."""
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count/min/max running stats.
+
+    ``bounds`` are the buckets' inclusive upper edges in ascending order;
+    one overflow bucket (+inf) is always appended.  Fixed buckets keep
+    ``observe`` O(log B) with zero allocation, which is what lets spans
+    report through here from inside the request path.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = SECONDS_BUCKETS) -> None:
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly ascending"
+            )
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class SpanStats(Histogram):
+    """Aggregated wall-time of one span name; a seconds histogram."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, SECONDS_BUCKETS)
+
+
+class MetricsRegistry:
+    """All metrics of one observation window, addressed by name.
+
+    Metric kinds live in separate namespaces (a counter and a span may
+    share a name without clashing, though instrumentation here never
+    does).  The registry is not thread-safe by design: the simulation is
+    single-threaded and the request path cannot afford a lock; callers
+    running workers should give each its own registry and merge
+    snapshots.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.spans: dict[str, SpanStats] = {}
+
+    # -- metric accessors (create on first use) ---------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter ``name``, created on first use."""
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(_check_name(name))
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge ``name``, created on first use."""
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(_check_name(name))
+        return metric
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = COUNT_BUCKETS
+    ) -> Histogram:
+        """The histogram ``name``, created with ``bounds`` on first use."""
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(_check_name(name), bounds)
+        return metric
+
+    def span_stats(self, name: str) -> SpanStats:
+        """The span aggregate ``name``, created on first use."""
+        metric = self.spans.get(name)
+        if metric is None:
+            metric = self.spans[name] = SpanStats(_check_name(name))
+        return metric
+
+    # -- bulk operations ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every metric (a fresh observation window)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans.clear()
+
+
+# -- the active registry ---------------------------------------------------------
+#
+# ``_active`` is either None (disabled) or the enabled registry.  The
+# helpers below are what instrumented code calls; each reads ``_active``
+# exactly once, so the disabled cost is one global load and one branch.
+
+_active: Optional[MetricsRegistry] = None
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Switch observability on; returns the now-active registry.
+
+    Passing a registry resumes recording into it; omitting one keeps the
+    previous registry if any, else creates a fresh one.
+    """
+    global _active
+    if registry is not None:
+        _active = registry
+    elif _active is None:
+        _active = MetricsRegistry()
+    return _active
+
+
+def disable() -> Optional[MetricsRegistry]:
+    """Switch observability off; returns the registry that was active."""
+    global _active
+    registry, _active = _active, None
+    return registry
+
+
+def enabled() -> bool:
+    """True when a registry is currently recording."""
+    return _active is not None
+
+
+def get_registry() -> Optional[MetricsRegistry]:
+    """The active registry, or None when disabled."""
+    return _active
+
+
+def reset() -> None:
+    """Clear the active registry's metrics (no-op when disabled)."""
+    if _active is not None:
+        _active.reset()
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` (no-op when disabled)."""
+    registry = _active
+    if registry is None:
+        return
+    registry.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op when disabled)."""
+    registry = _active
+    if registry is None:
+        return
+    registry.gauge(name).set(value)
+
+
+def observe(
+    name: str, value: float, bounds: tuple[float, ...] = COUNT_BUCKETS
+) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    registry = _active
+    if registry is None:
+        return
+    registry.histogram(name, bounds).observe(value)
+
+
+if os.environ.get("REPRO_OBS", "").strip().lower() in {"1", "true", "yes", "on"}:
+    enable()

@@ -1,0 +1,136 @@
+"""Pretty-print a saved metrics snapshot: hottest spans, top counters.
+
+Usage::
+
+    python -m repro.obs.report BENCH_wpg.json --top 10
+    python -m repro.obs.report snapshot.json --validate benchmarks/obs_snapshot_schema.json
+    python -m repro.obs.report snapshot.json --prometheus
+
+Accepts either a bare snapshot (written by
+:func:`repro.obs.export.write_snapshot`) or a ``BENCH_*.json`` benchmark
+file, in which case the snapshot of the largest population is used.
+Spans rank by total wall time (where the pipeline spent its life),
+counters and gauges by value, histograms by observation count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.export import load_snapshot, prometheus_text, validate_snapshot
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.3f} us"
+
+
+def render(data: dict, top: int = 10) -> str:
+    """The human-readable report for one snapshot."""
+    lines: list[str] = []
+    spans = sorted(
+        data.get("spans", {}).items(),
+        key=lambda item: item[1]["total"],
+        reverse=True,
+    )
+    if spans:
+        lines.append(f"hottest spans (top {min(top, len(spans))} by total time)")
+        lines.append(
+            f"  {'span':<28} {'count':>8} {'total':>11} {'mean':>11} {'max':>11}"
+        )
+        for name, hist in spans[:top]:
+            lines.append(
+                f"  {name:<28} {hist['count']:>8} "
+                f"{_format_seconds(hist['total'])} "
+                f"{_format_seconds(hist['mean'])} "
+                f"{_format_seconds(hist['max'] or 0.0)}"
+            )
+    counters = sorted(
+        data.get("counters", {}).items(), key=lambda item: item[1], reverse=True
+    )
+    if counters:
+        lines.append("")
+        lines.append(f"top counters (top {min(top, len(counters))} by value)")
+        for name, value in counters[:top]:
+            rendered = f"{value:.0f}" if float(value).is_integer() else f"{value:.3f}"
+            lines.append(f"  {name:<40} {rendered:>14}")
+    gauges = sorted(data.get("gauges", {}).items())
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        for name, value in gauges:
+            rendered = f"{value:.0f}" if float(value).is_integer() else f"{value:.4g}"
+            lines.append(f"  {name:<40} {rendered:>14}")
+    histograms = sorted(
+        data.get("histograms", {}).items(),
+        key=lambda item: item[1]["count"],
+        reverse=True,
+    )
+    if histograms:
+        lines.append("")
+        lines.append(f"histograms (top {min(top, len(histograms))} by count)")
+        for name, hist in histograms[:top]:
+            lines.append(
+                f"  {name:<28} count={hist['count']:<8} "
+                f"mean={hist['mean']:<10.4g} "
+                f"min={hist['min'] if hist['min'] is not None else '-'} "
+                f"max={hist['max'] if hist['max'] is not None else '-'}"
+            )
+    if not lines:
+        lines.append("(empty snapshot: no metrics were recorded)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "snapshot",
+        help="a snapshot JSON file, or a BENCH_*.json containing obs snapshots",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="rows per section (default: 10)"
+    )
+    parser.add_argument(
+        "--validate",
+        metavar="SCHEMA",
+        help="validate against a snapshot schema file and exit non-zero on errors",
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the snapshot in Prometheus text format instead of the report",
+    )
+    args = parser.parse_args(argv)
+    if args.top < 1:
+        parser.error(f"--top must be >= 1, got {args.top}")
+    try:
+        data = load_snapshot(args.snapshot)
+    except (OSError, ValueError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.validate:
+        schema = json.loads(Path(args.validate).read_text())
+        errors = validate_snapshot(data, schema)
+        if errors:
+            print(f"snapshot {args.snapshot} FAILS {args.validate}:")
+            for problem in errors:
+                print(f"  {problem}")
+            return 1
+        print(f"snapshot {args.snapshot} conforms to {args.validate}")
+    if args.prometheus:
+        print(prometheus_text(data), end="")
+        return 0
+    if not args.validate:
+        print(render(data, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

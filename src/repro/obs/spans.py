@@ -1,0 +1,134 @@
+"""Lightweight trace spans over the metrics registry.
+
+A span measures one timed section of the request path (``with
+obs.span("cloaking.bounding"): ...``).  Every completed span folds its
+wall time into the registry's per-name :class:`~repro.obs.registry.SpanStats`
+(count / total / min / max / seconds histogram) — that aggregate is what
+the report CLI ranks as the "hottest" spans — and is also appended to a
+bounded ring of recent :class:`SpanRecord` entries so the last few
+requests can be inspected as traces.
+
+Nesting is tracked with a module-level stack: a span opened while
+another is active becomes its child (``depth`` > 0) and shares its
+``trace_id``; a top-level span starts a new trace.  Trace ids are a
+process-local monotonic counter — one cloaking request instrumented with
+a top-level ``cloaking.request`` span is one trace.
+
+The simulation is single-threaded, so the stack is a plain list; code
+running spans from worker threads should give each thread its own
+registry and tracer (see :class:`~repro.obs.registry.MetricsRegistry`).
+
+When observability is disabled, :func:`span` returns a shared no-op
+context manager: the disabled path is one global load, one branch, and
+an attribute-free ``with`` block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Deque, Optional
+
+from repro.obs import registry as _registry
+
+#: How many completed spans the recent-trace ring retains.
+RECENT_SPAN_CAPACITY = 512
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span, as retained in the recent-trace ring."""
+
+    trace_id: int
+    name: str
+    depth: int
+    start: float  # perf_counter timestamp at entry
+    duration: float  # seconds
+
+
+class _NullSpan:
+    """The shared disabled-path span: enters and exits doing nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+# Module-level tracer state (single-threaded; see module docstring).
+_stack: list[tuple[str, int, float]] = []  # (name, trace_id, start)
+_next_trace_id = 0
+_recent: Deque[SpanRecord] = deque(maxlen=RECENT_SPAN_CAPACITY)
+
+
+class _Span:
+    """An enabled span: times its block and reports on exit."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        global _next_trace_id
+        if _stack:
+            trace_id = _stack[-1][1]
+        else:
+            trace_id = _next_trace_id
+            _next_trace_id += 1
+        _stack.append((self.name, trace_id, perf_counter()))
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end = perf_counter()
+        name, trace_id, start = _stack.pop()
+        depth = len(_stack)
+        duration = end - start
+        active = _registry._active
+        if active is not None:
+            # Registry may have been disabled mid-span; drop silently.
+            active.span_stats(name).observe(duration)
+        _recent.append(SpanRecord(trace_id, name, depth, start, duration))
+
+
+def span(name: str) -> object:
+    """A context manager timing ``name`` (no-op singleton when disabled).
+
+    The disabled path reads the registry module's active-registry global
+    directly — one load, one branch, no allocation.
+    """
+    if _registry._active is None:
+        return _NULL_SPAN
+    return _Span(name)
+
+
+def recent_spans(limit: Optional[int] = None) -> list[SpanRecord]:
+    """The most recent completed spans, oldest first."""
+    records = list(_recent)
+    return records if limit is None else records[-limit:]
+
+
+def last_trace() -> list[SpanRecord]:
+    """Every retained span of the most recent completed trace, oldest first.
+
+    "Most recent" is decided by the last *top-level* span completed; its
+    children completed before it, so the whole trace sits contiguously at
+    the tail of the ring (modulo capacity eviction).
+    """
+    records = list(_recent)
+    for record in reversed(records):
+        if record.depth == 0:
+            return [r for r in records if r.trace_id == record.trace_id]
+    return []
+
+
+def reset_traces() -> None:
+    """Clear the recent-span ring and the (stale-proof) span stack."""
+    _recent.clear()
+    _stack.clear()

@@ -9,8 +9,10 @@ the degradation the whole minimisation effort targets.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.config import SimulationConfig
 from repro.geometry.rect import Rect
+from repro.obs import names as metric
 from repro.server.poidb import POIDatabase
 
 
@@ -22,7 +24,15 @@ def request_cost_messages(
     ``Cr * |POIs inside region|`` — the candidate superset of the range
     query, each POI's content weighing Cr bounding messages.
     """
-    return config.request_cost * db.count_in_region(region)
+    with obs.span(metric.SPAN_REQUEST_COST):
+        candidates = db.count_in_region(region)
+    cost = config.request_cost * candidates
+    if obs.enabled():
+        obs.inc(metric.SERVER_REQUESTS)
+        obs.inc(metric.SERVER_CANDIDATE_POIS, candidates)
+        obs.inc(metric.SERVER_COST_MESSAGES, cost)
+        obs.observe(metric.SERVER_CANDIDATES_PER_REQUEST, candidates)
+    return cost
 
 
 def total_request_cost(
