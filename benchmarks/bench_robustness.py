@@ -1,14 +1,19 @@
-"""Extension: clustering quality under noisy RSS rankings.
+"""Extension: clustering quality under noisy RSS rankings and lossy links.
 
-The paper's rankings are noise-free; this benchmark injects log-normal
-shadowing into the RSS model and shows the distributed t-Conn pipeline
-degrades gracefully — the measurable substance behind its robustness
-claim.
+The paper's rankings are noise-free and its protocols failure-oblivious;
+this benchmark injects (a) log-normal shadowing into the RSS model and
+(b) message loss into the peer network, and shows the distributed t-Conn
+pipeline degrades gracefully — the measurable substance behind its
+robustness claim.  The message-loss axis also writes a BENCH-style JSON
+(``results/BENCH_message_loss.json``, schema ``bench_message_loss/v1``)
+recording retry overhead and abort rate per loss level.
 """
+
+import json
 
 from conftest import BENCH_REQUESTS, record
 
-from repro.experiments.robustness import run_robustness
+from repro.experiments.robustness import run_message_loss, run_robustness
 
 
 def test_robustness_to_shadowing(benchmark, setup, results_dir):
@@ -33,3 +38,44 @@ def test_robustness_to_shadowing(benchmark, setup, results_dir):
     clean_cost = series["avg comm cost"][0]
     worst_cost = max(series["avg comm cost"])
     assert worst_cost < 2.0 * clean_cost
+
+
+# Message-level sessions simulate every RPC in Python, so this axis runs
+# on a deliberately small world — it measures protocol overhead per
+# request, not population-scale throughput.
+LOSS_USERS = 300
+LOSS_REQUESTS = 40
+LOSS_K = 5
+LOSS_SEED = 17
+
+
+def test_robustness_to_message_loss(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_message_loss,
+        kwargs={
+            "drop_rates": (0.0, 0.02, 0.05, 0.10),
+            "users": LOSS_USERS,
+            "requests": LOSS_REQUESTS,
+            "k": LOSS_K,
+            "seed": LOSS_SEED,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record(results_dir, "robustness_message_loss", result.format())
+    payload = result.to_json(LOSS_USERS, LOSS_K, LOSS_SEED)
+    (results_dir / "BENCH_message_loss.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    series = result.series()
+    # Zero loss is the failure-free baseline: nothing retried, nothing
+    # aborted, nobody evicted.
+    assert series["retries per request"][0] == 0.0
+    assert series["abort rate"][0] == 0.0
+    assert series["evictions"][0] == 0.0
+    # Retry overhead grows with the loss level and the abort rate stays
+    # bounded — the runtime trades messages for completion.
+    assert series["retries per request"][-1] > 0.0
+    assert series["avg messages"][-1] > series["avg messages"][0]
+    assert max(series["abort rate"]) <= 0.5

@@ -16,13 +16,23 @@ looping forever.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro import obs
 from repro.errors import BoundingError, ConfigurationError
 from repro.bounding.policies import IncrementPolicy
 from repro.bounding.protocol import BoundingOutcome, _record_run
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.network.reliability import (
+    ABORT_BELOW_K,
+    ABORT_HOST_FAILED,
+    ABORT_NO_CONVERGENCE,
+    ABORT_REFORM_BUDGET,
+    abort,
+)
 from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
+from repro.obs import names as metric
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +119,140 @@ def p2p_upper_bound(
         messages_dropped=network.stats.dropped - dropped_before,
         unresolved=frozenset(crashed),
     )
+
+
+@dataclass(frozen=True, slots=True)
+class ResilientBoundingReport:
+    """A cloaked rectangle obtained despite failures.
+
+    ``survivors`` are the members the final successful round bounded
+    (always >= k, always including the host); ``evicted`` the members
+    removed after crashing mid-protocol; ``restarts`` how many times the
+    four-direction run was restarted with the surviving members.
+    ``messages``/``iterations``/``messages_dropped`` aggregate across
+    every round, including the discarded ones — the real cost paid.
+    """
+
+    region: Rect
+    messages: int
+    iterations: int
+    messages_dropped: int
+    survivors: tuple[int, ...]
+    evicted: frozenset[int]
+    restarts: int
+
+
+def resilient_bounding_box(
+    network: "PeerNetwork",
+    host: int,
+    members: Sequence[int],
+    position: Point,
+    policy_for_size: Callable[[int], IncrementPolicy],
+    k: int,
+    retries: int = 0,
+    max_restarts: int = 8,
+    max_iterations: int = 10_000,
+    clip_to: "Rect | None" = None,
+) -> ResilientBoundingReport:
+    """Four directional bounding runs with crash eviction and restart.
+
+    The graceful-degradation rule of the fault-tolerant runtime: a
+    member that crashes mid-bounding is evicted and the whole
+    four-direction protocol restarts with the survivors, *provided* the
+    survivors still satisfy the anonymity requirement ``k`` — otherwise
+    the run aborts cleanly with a typed
+    :class:`~repro.network.reliability.ProtocolAbort` rather than ever
+    producing an undersized cloak.  ``position`` is the host's own
+    coordinate, seeding every directional run exactly as in the
+    failure-free protocol.
+
+    ``network`` may be a plain :class:`PeerNetwork` or a
+    :class:`~repro.network.reliability.ReliableTransport` (the transport
+    adds retries with backoff and idempotent redelivery underneath).
+    """
+    survivors = sorted(set(members))
+    evicted: set[int] = set()
+    restarts = 0
+    messages = 0
+    iterations = 0
+    dropped = 0
+    recording = obs.enabled()
+    while True:
+        if host not in survivors:
+            raise abort(
+                ABORT_HOST_FAILED,
+                f"host {host} is no longer among the bounding members",
+                host=host,
+                evicted=evicted,
+            )
+        if len(survivors) < k:
+            raise abort(
+                ABORT_BELOW_K,
+                f"only {len(survivors)} members survive bounding, k={k}",
+                host=host,
+                evicted=evicted,
+            )
+        directions = (
+            (0, 1.0, position.x),
+            (0, -1.0, -position.x),
+            (1, 1.0, position.y),
+            (1, -1.0, -position.y),
+        )
+        bounds: list[float] = []
+        unresolved: set[int] = set()
+        for axis, sign, start in directions:
+            try:
+                report = p2p_upper_bound(
+                    network,
+                    host,
+                    survivors,
+                    axis=axis,
+                    sign=sign,
+                    start=start,
+                    policy=policy_for_size(len(survivors)),
+                    retries=retries,
+                    max_iterations=max_iterations,
+                )
+            except BoundingError as exc:
+                raise abort(
+                    ABORT_NO_CONVERGENCE,
+                    f"host {host}: {exc}",
+                    host=host,
+                    evicted=evicted,
+                ) from exc
+            bounds.append(report.outcome.bound)
+            messages += report.outcome.messages
+            iterations += report.outcome.iterations
+            dropped += report.messages_dropped
+            unresolved |= report.unresolved
+        if not unresolved:
+            x_max, neg_x_min, y_max, neg_y_min = bounds
+            region = Rect(-neg_x_min, x_max, -neg_y_min, y_max)
+            if clip_to is not None:
+                region = region.clipped_to(clip_to)
+            return ResilientBoundingReport(
+                region=region,
+                messages=messages,
+                iterations=iterations,
+                messages_dropped=dropped,
+                survivors=tuple(survivors),
+                evicted=frozenset(evicted),
+                restarts=restarts,
+            )
+        # Crash(es) mid-run: evict and restart with the survivors.
+        evicted |= unresolved
+        survivors = [m for m in survivors if m not in unresolved]
+        restarts += 1
+        if restarts > max_restarts:
+            raise abort(
+                ABORT_REFORM_BUDGET,
+                f"host {host}: bounding restart budget ({max_restarts}) "
+                "exhausted",
+                host=host,
+                evicted=evicted,
+            )
+        if recording:
+            obs.inc(metric.BOUNDING_RESTARTS)
 
 
 def _verify_round(

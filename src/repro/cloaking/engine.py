@@ -37,6 +37,10 @@ from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
 from repro.bounding.policies import IncrementPolicy
 from repro.bounding.presets import paper_policy
 from repro.graph.wpg import WeightedProximityGraph
+from repro.network.failures import FailurePlan
+from repro.network.node import populate_network
+from repro.network.reliability import ReliabilityPolicy, resolve
+from repro.network.simulator import PeerNetwork
 
 Mode = Literal["distributed", "centralized"]
 
@@ -104,6 +108,18 @@ class CloakingEngine:
     clustering:
         Optional custom phase-1 service (overrides ``mode``), e.g. the
         hilbASR baseline or a message-level protocol.
+    reliability:
+        The fault-tolerance knob.  ``None`` or a disabled policy (the
+        default) keeps the analytic request path bit-identical to the
+        failure-oblivious engine.  An *enabled* policy runs every
+        request message-level over an internal peer network with
+        retries, idempotent redelivery, crash eviction and graceful
+        degradation — unrecoverable failures surface as a typed clean
+        :class:`~repro.network.reliability.ProtocolAbort`.  Requires the
+        distributed mode with a progressive policy preset.
+    failure_plan:
+        Failure injection for the internal network; only meaningful (and
+        only accepted) together with an enabled ``reliability`` policy.
     """
 
     def __init__(
@@ -115,6 +131,8 @@ class CloakingEngine:
         policy: str | PolicyBuilder = "secure",
         min_area: float = 0.0,
         clustering: Optional[ClusteringService] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
+        failure_plan: Optional[FailurePlan] = None,
     ) -> None:
         if len(dataset) != graph.vertex_count:
             raise ConfigurationError(
@@ -129,7 +147,18 @@ class CloakingEngine:
         self._dataset = dataset
         self._graph = graph
         self._config = config
+        self._reliable_session = self._build_reliable_session(
+            mode, policy, clustering, resolve(reliability), failure_plan
+        )
         self._clustering: ClusteringService
+        if self._reliable_session is not None:
+            # The session's protocol satisfies the registry surface the
+            # batch fast path needs; requests delegate wholesale.
+            self._clustering = self._reliable_session._clustering  # type: ignore[assignment]
+            self._regions = self._reliable_session.regions
+            self._policy_builder = self._resolve_policy(policy)
+            self._next_region_id = 0
+            return
         if clustering is not None:
             # A custom phase-1 service (e.g. the hilbASR baseline or a
             # message-level protocol) overrides the mode selection.
@@ -144,6 +173,51 @@ class CloakingEngine:
         self._regions: dict[frozenset[int], CloakedRegion] = {}
         # Monotonic so region ids stay unique across invalidations.
         self._next_region_id = 0
+
+    def _build_reliable_session(
+        self,
+        mode: Mode,
+        policy: str | PolicyBuilder,
+        clustering: Optional[ClusteringService],
+        reliability: Optional[ReliabilityPolicy],
+        failure_plan: Optional[FailurePlan],
+    ):
+        """Wire the internal message-level session when reliability is on."""
+        if reliability is None:
+            if failure_plan is not None:
+                raise ConfigurationError(
+                    "failure_plan requires an enabled ReliabilityPolicy: "
+                    "the failure-oblivious engine has no recovery path"
+                )
+            return None
+        if clustering is not None or mode != "distributed":
+            raise ConfigurationError(
+                "ReliabilityPolicy requires the distributed mode "
+                "(the fault-tolerant runtime is a peer protocol)"
+            )
+        if not isinstance(policy, str) or policy == "optimal":
+            raise ConfigurationError(
+                "ReliabilityPolicy requires a progressive policy preset "
+                f"name, got {policy!r}"
+            )
+        if self._min_area > 0.0:
+            raise ConfigurationError(
+                "min_area is not supported together with ReliabilityPolicy"
+            )
+        # Local import: keeps the analytic engine importable without the
+        # message-level stack and avoids any package-order surprises.
+        from repro.cloaking.p2p_engine import P2PCloakingSession
+
+        network = PeerNetwork(failure_plan)
+        populate_network(network, self._graph, list(self._dataset.points))
+        return P2PCloakingSession(
+            network,
+            self._graph,
+            self._dataset,
+            self._config,
+            policy_name=policy,
+            reliability=reliability,
+        )
 
     def _resolve_policy(self, policy: str | PolicyBuilder) -> PolicyBuilder:
         if policy == "optimal":
@@ -163,12 +237,19 @@ class CloakingEngine:
         """Number of distinct cloaked regions formed so far."""
         return len(self._regions)
 
+    @property
+    def reliable_session(self):  # noqa: ANN201 - Optional[P2PCloakingSession]
+        """The internal message-level session, when reliability is on."""
+        return self._reliable_session
+
     def request(self, host: int) -> CloakingResult:
         """Serve one cloaking request end to end."""
         with obs.span(metric.SPAN_REQUEST):
             return self._request(host)
 
     def _request(self, host: int) -> CloakingResult:
+        if self._reliable_session is not None:
+            return self._request_reliable(host)
         with obs.span(metric.SPAN_CLUSTERING):
             cluster_result = self._clustering.request(host)
         members = cluster_result.members
@@ -211,6 +292,38 @@ class CloakingEngine:
             clustering_messages=cluster_result.involved,
             bounding_messages=bounding_messages,
             region_from_cache=False,
+        )
+
+    def _request_reliable(self, host: int) -> CloakingResult:
+        """Delegate one request to the fault-tolerant message-level session.
+
+        The session owns the region cache (``self._regions`` is the same
+        dict), so cache accounting, invalidation and the batch fast path
+        all keep working; a :class:`ProtocolAbort` propagates to the
+        caller as the request's clean typed failure.
+        """
+        result = self._reliable_session.request(host)
+        if obs.enabled():
+            obs.inc(metric.CLOAKING_REQUESTS)
+            obs.inc(
+                metric.CLOAKING_CACHE_HITS
+                if result.region_from_cache
+                else metric.CLOAKING_CACHE_MISSES
+            )
+            if not result.region_from_cache:
+                obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, len(self._regions))
+                obs.observe(
+                    metric.CLOAKING_REGION_AREA,
+                    result.region.rect.area,
+                    bounds=_AREA_BUCKETS,
+                )
+        return CloakingResult(
+            host=result.host,
+            region=result.region,
+            cluster=result.cluster,
+            clustering_messages=result.clustering_messages,
+            bounding_messages=result.bounding_messages,
+            region_from_cache=result.region_from_cache,
         )
 
     def request_many(self, hosts: Iterable[int]) -> list[CloakingResult]:

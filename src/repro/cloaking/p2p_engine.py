@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.bounding.p2p import p2p_upper_bound
+from repro.bounding.p2p import p2p_upper_bound, resilient_bounding_box
 from repro.bounding.policies import IncrementPolicy
 from repro.bounding.presets import paper_policy
 from repro.clustering.base import ClusterRegistry, ClusterResult
@@ -30,6 +30,11 @@ from repro.errors import ConfigurationError
 from repro.geometry.rect import Rect
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.node import populate_network
+from repro.network.reliability import (
+    ReliabilityPolicy,
+    ReliableTransport,
+    resolve,
+)
 from repro.network.simulator import PeerNetwork
 
 
@@ -79,6 +84,7 @@ class P2PCloakingSession:
         policy_name: str = "secure",
         retries: int = 0,
         registry: Optional[ClusterRegistry] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
     ) -> None:
         if len(dataset) != graph.vertex_count:
             raise ConfigurationError(
@@ -91,8 +97,22 @@ class P2PCloakingSession:
         self._config = config
         self._policy_name = policy_name
         self._retries = retries
+        self._reliability = resolve(reliability)
+        # One transport shared by both phases: a crash detected while
+        # clustering is already known when bounding starts.
+        self._transport = (
+            ReliableTransport(network, self._reliability)
+            if self._reliability is not None
+            else None
+        )
         self._clustering = P2PClusteringProtocol(
-            network, graph, config.k, registry=registry, retries=retries
+            network,
+            graph,
+            config.k,
+            registry=registry,
+            retries=retries,
+            reliability=self._reliability,
+            transport=self._transport,
         )
         self._regions: dict[frozenset[int], CloakedRegion] = {}
 
@@ -115,8 +135,30 @@ class P2PCloakingSession:
         """The shared cluster-assignment registry."""
         return self._clustering.registry
 
+    @property
+    def transport(self) -> Optional[ReliableTransport]:
+        """The reliable transport, when a policy is enabled."""
+        return self._transport
+
+    @property
+    def regions(self) -> dict[frozenset[int], CloakedRegion]:
+        """The cluster -> cloaked-region cache (shared with the engine)."""
+        return self._regions
+
+    @property
+    def evicted(self) -> frozenset[int]:
+        """Peers evicted during clustering (reliability runs only)."""
+        return self._clustering.evicted
+
     def request(self, host: int) -> P2PCloakingResult:
-        """Serve one cloaking request over the wire, end to end."""
+        """Serve one cloaking request over the wire, end to end.
+
+        With a reliability policy, transport failures degrade gracefully
+        (evictions, restarts) and unrecoverable ones surface as a typed
+        :class:`~repro.network.reliability.ProtocolAbort`; without one,
+        they propagate as raw :class:`~repro.errors.ProtocolError`\\ s,
+        exactly the seed behavior.
+        """
         clustering_report = self._clustering.request(host)
         cluster = clustering_report.result
         cached = self._regions.get(cluster.members)
@@ -131,6 +173,8 @@ class P2PCloakingSession:
                 region_from_cache=True,
                 unresolved_members=frozenset(),
             )
+        if self._reliability is not None:
+            return self._finish_reliable(host, cluster, clustering_report)
         region, bounding_messages, dropped, unresolved = self._bound(host, cluster)
         cloaked = CloakedRegion(
             rect=region,
@@ -147,6 +191,46 @@ class P2PCloakingSession:
             messages_dropped=clustering_report.messages_dropped + dropped,
             region_from_cache=False,
             unresolved_members=unresolved,
+        )
+
+    def _finish_reliable(
+        self,
+        host: int,
+        cluster: ClusterResult,
+        clustering_report,  # noqa: ANN001 - ProtocolRunReport
+    ) -> P2PCloakingResult:
+        """Phase 2 under the reliability policy: restartable bounding.
+
+        The cloak is built over the members that survive bounding (>= k
+        guaranteed, else the helper aborts), so a member crashing between
+        the two phases degrades the region, never the guarantee.
+        """
+        report = resilient_bounding_box(
+            self._transport,
+            host,
+            cluster.members,
+            self._dataset[host],  # the host's own private coordinate
+            self._policy,
+            k=self._config.k,
+            max_restarts=self._reliability.max_reforms,
+            clip_to=Rect.unit_square(),
+        )
+        cloaked = CloakedRegion(
+            rect=report.region,
+            cluster_id=len(self._regions),
+            anonymity=len(report.survivors),
+        )
+        self._regions[cluster.members] = cloaked
+        return P2PCloakingResult(
+            host=host,
+            region=cloaked,
+            cluster=cluster,
+            clustering_messages=clustering_report.messages_sent,
+            bounding_messages=report.messages,
+            messages_dropped=clustering_report.messages_dropped
+            + report.messages_dropped,
+            region_from_cache=False,
+            unresolved_members=report.evicted,
         )
 
     def _bound(

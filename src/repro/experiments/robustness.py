@@ -20,6 +20,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.analysis.reporting import format_series
+from repro.cloaking.p2p_engine import P2PCloakingSession
+from repro.config import SimulationConfig
+from repro.datasets import uniform_points
 from repro.experiments.harness import (
     ClusteringWorkloadResult,
     ExperimentSetup,
@@ -28,10 +31,16 @@ from repro.experiments.harness import (
 )
 from repro.experiments.workloads import sample_hosts
 from repro.graph.build import build_wpg
+from repro.network.failures import FailurePlan
+from repro.network.node import populate_network
+from repro.network.reliability import ProtocolAbort, ReliabilityPolicy
+from repro.network.simulator import PeerNetwork
 from repro.radio.measurement import ProximityMeter
 from repro.radio.rss import LogDistanceRSSModel
 
 DEFAULT_SIGMAS: tuple[float, ...] = (0.0, 2.0, 4.0, 8.0)
+
+DEFAULT_DROP_RATES: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10)
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,5 +92,123 @@ def run_robustness(
     return RobustnessResult(sigmas=tuple(sigmas), workloads=tuple(workloads))
 
 
+@dataclass(frozen=True, slots=True)
+class MessageLossResult:
+    """Fault-tolerant runtime metrics per message-loss level.
+
+    Every tuple is indexed by ``drop_rates``; ``requests`` is the
+    per-level workload size.  ``avg_messages`` counts every transmitted
+    leg (retransmissions included) per served request — its growth over
+    the zero-loss column is the runtime's retry overhead.
+    """
+
+    drop_rates: tuple[float, ...]
+    requests: int
+    avg_messages: tuple[float, ...]
+    retries_per_request: tuple[float, ...]
+    abort_rates: tuple[float, ...]
+    evictions: tuple[int, ...]
+    messages_dropped: tuple[int, ...]
+
+    def series(self) -> dict[str, list[float]]:
+        """The named metric series of this result."""
+        return {
+            "avg messages": list(self.avg_messages),
+            "retries per request": list(self.retries_per_request),
+            "abort rate": list(self.abort_rates),
+            "evictions": [float(e) for e in self.evictions],
+        }
+
+    def format(self) -> str:
+        """Render the result as the benchmark-report text."""
+        return format_series(
+            "message drop probability",
+            list(self.drop_rates),
+            self.series(),
+            title="Robustness: fault-tolerant runtime under message loss",
+        )
+
+    def to_json(self, users: int, k: int, seed: int) -> dict:
+        """The BENCH-style JSON payload for this result."""
+        return {
+            "schema": "bench_message_loss/v1",
+            "users": users,
+            "k": k,
+            "seed": seed,
+            "requests": self.requests,
+            "rates": [
+                {
+                    "drop_probability": rate,
+                    "avg_messages": round(self.avg_messages[i], 2),
+                    "retries_per_request": round(self.retries_per_request[i], 2),
+                    "abort_rate": round(self.abort_rates[i], 4),
+                    "evictions": self.evictions[i],
+                    "messages_dropped": self.messages_dropped[i],
+                }
+                for i, rate in enumerate(self.drop_rates)
+            ],
+        }
+
+
+def run_message_loss(
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    users: int = 300,
+    requests: int = 40,
+    k: int = 5,
+    seed: int = 17,
+) -> MessageLossResult:
+    """Serve the same workload while the network loses more messages.
+
+    Each loss level gets a fresh peer network with a seeded
+    :class:`FailurePlan` and a fresh session under the default
+    :class:`ReliabilityPolicy`, so the columns differ only in the
+    injected loss.  The world is deliberately small: every adjacency
+    fetch and bound verification is a simulated RPC, so this measures
+    protocol overhead, not throughput.
+    """
+    dataset = uniform_points(users, seed=seed)
+    config = SimulationConfig(k=k)
+    graph = build_wpg(dataset, delta=0.09, max_peers=8)
+    hosts = sample_hosts(graph, k, requests, seed=seed)
+    avg_messages: list[float] = []
+    retries_per_request: list[float] = []
+    abort_rates: list[float] = []
+    evictions: list[int] = []
+    dropped: list[int] = []
+    for rate in drop_rates:
+        network = PeerNetwork(FailurePlan(drop_probability=rate, seed=seed))
+        populate_network(network, graph, list(dataset.points))
+        session = P2PCloakingSession(
+            network,
+            graph,
+            dataset,
+            config,
+            reliability=ReliabilityPolicy(
+                max_attempts=6, crash_after=3, max_reforms=10, seed=seed
+            ),
+        )
+        aborted = 0
+        for host in hosts:
+            try:
+                session.request(host)
+            except ProtocolAbort:
+                aborted += 1
+        avg_messages.append(network.stats.sent / len(hosts))
+        retries_per_request.append(session.transport.retries / len(hosts))
+        abort_rates.append(aborted / len(hosts))
+        evictions.append(len(session.evicted))
+        dropped.append(network.stats.dropped)
+    return MessageLossResult(
+        drop_rates=tuple(drop_rates),
+        requests=len(hosts),
+        avg_messages=tuple(avg_messages),
+        retries_per_request=tuple(retries_per_request),
+        abort_rates=tuple(abort_rates),
+        evictions=tuple(evictions),
+        messages_dropped=tuple(dropped),
+    )
+
+
 if __name__ == "__main__":
     print(run_robustness().format())
+    print(run_message_loss().format())

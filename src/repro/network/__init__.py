@@ -19,8 +19,15 @@ from repro.network.latency import (
 )
 from repro.network.remote_graph import RemoteGraphView
 from repro.network.concurrency import LockManager, ConcurrentCloakingCoordinator
+from repro.network.reliability import (
+    ABORT_REASONS,
+    ProtocolAbort,
+    ReliabilityPolicy,
+    ReliableTransport,
+)
 
 __all__ = [
+    "ABORT_REASONS",
     "ConcurrentCloakingCoordinator",
     "FailurePlan",
     "LatencyModel",
@@ -30,6 +37,9 @@ __all__ = [
     "MessageStats",
     "PeerCrashed",
     "PeerNetwork",
+    "ProtocolAbort",
+    "ReliabilityPolicy",
+    "ReliableTransport",
     "RemoteGraphView",
     "UserDevice",
     "bounding_run_latency",

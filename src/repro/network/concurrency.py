@@ -21,6 +21,7 @@ from typing import Callable, Iterable, Optional, Sequence
 from repro.errors import ProtocolError
 from repro.clustering.base import ClusterResult
 from repro.clustering.distributed import DistributedClustering
+from repro.network.reliability import ProtocolAbort
 
 
 class LockManager:
@@ -71,13 +72,20 @@ class LockManager:
 
 @dataclass(slots=True)
 class ConcurrentOutcome:
-    """What happened to one host in a concurrent batch."""
+    """What happened to one host in a concurrent batch.
+
+    ``abort_reason`` distinguishes the fault-tolerant runtime's typed
+    clean aborts (a :class:`~repro.network.reliability.ProtocolAbort`
+    reason code) from ordinary clustering failures, which only set
+    ``error``.
+    """
 
     host: int
     result: Optional[ClusterResult] = None
     error: Optional[str] = None
     restarts: int = 0
     waited_on: list[int] = field(default_factory=list)
+    abort_reason: Optional[str] = None
 
 
 class ConcurrentCloakingCoordinator:
@@ -164,6 +172,10 @@ class ConcurrentCloakingCoordinator:
                 outcome.result = ClusterResult(host, cluster, 0, from_cache=True)
                 return None
             return self._clustering.propose(host)
+        except ProtocolAbort as exc:  # typed clean abort: keep the reason
+            outcome.error = str(exc)
+            outcome.abort_reason = exc.reason
+            return None
         except Exception as exc:  # clustering failure is a clean outcome
             outcome.error = str(exc)
             return None

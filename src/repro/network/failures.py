@@ -5,6 +5,11 @@ also be concerned, and a balance must be struck between robustness and
 efficiency."  :class:`FailurePlan` injects exactly those failures,
 deterministically (seeded), so the robustness tests can assert that the
 protocols either complete with a correct result or abort cleanly.
+
+The plan also audits its own decisions: every ``should_drop`` call is
+counted, so a test can reconcile the simulator's message counters against
+the failure plan (``deliveries() == stats.sent - stats.dropped`` for any
+run whose crash-path drops are accounted separately).
 """
 
 from __future__ import annotations
@@ -16,13 +21,31 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
+class _DropAudit:
+    """Mutable decision counters shared across derived plans.
+
+    ``crash`` shares the RNG stream so drops stay reproducible; the audit
+    must follow the stream, or the derived plan's decisions would vanish
+    from the reconciliation.
+    """
+
+    __slots__ = ("decisions", "dropped")
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.dropped = 0
+
+
 class FailurePlan:
     """Decides, per message, whether the network loses it.
 
     Parameters
     ----------
     drop_probability:
-        Independent probability that any single message is lost.
+        Independent probability that any single message is lost.  Must be
+        strictly below 1: at exactly 1.0 every message is lost and no
+        retry budget can ever succeed — model a permanently dead link
+        with ``crashed`` instead.
     crashed:
         Peers that never respond (every message to them is lost).
     seed:
@@ -35,13 +58,25 @@ class FailurePlan:
         crashed: Iterable[int] = (),
         seed: int = 0,
     ) -> None:
-        if not 0.0 <= drop_probability < 1.0:
+        if not 0.0 <= drop_probability <= 1.0:
             raise ConfigurationError(
-                f"drop_probability must be in [0, 1), got {drop_probability}"
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        if drop_probability == 1.0:
+            raise ConfigurationError(
+                "drop_probability 1.0 loses every message, so no retry "
+                "budget can ever succeed; model a permanently dead link "
+                "with crashed=... instead"
             )
         self._drop_probability = drop_probability
         self._crashed = frozenset(crashed)
         self._rng = np.random.default_rng(seed)
+        self._audit = _DropAudit()
+
+    @property
+    def drop_probability(self) -> float:
+        """The per-message loss probability."""
+        return self._drop_probability
 
     @property
     def crashed(self) -> frozenset[int]:
@@ -52,12 +87,41 @@ class FailurePlan:
         """A new plan with ``peer`` additionally crashed."""
         plan = FailurePlan(self._drop_probability, self._crashed | {peer})
         plan._rng = self._rng  # share the stream: drops stay reproducible
+        plan._audit = self._audit  # and the audit follows the stream
         return plan
 
     def should_drop(self, sender: int, recipient: int) -> bool:
         """Loss decision for one message (advances the RNG stream)."""
+        self._audit.decisions += 1
         if recipient in self._crashed or sender in self._crashed:
+            self._audit.dropped += 1
             return True
         if self._drop_probability == 0.0:
             return False
-        return bool(self._rng.random() < self._drop_probability)
+        dropped = bool(self._rng.random() < self._drop_probability)
+        if dropped:
+            self._audit.dropped += 1
+        return dropped
+
+    # -- audit -------------------------------------------------------------------
+
+    @property
+    def decisions(self) -> int:
+        """Total loss decisions taken so far."""
+        return self._audit.decisions
+
+    @property
+    def drop_decisions(self) -> int:
+        """Decisions that came out as a drop."""
+        return self._audit.dropped
+
+    def deliveries(self) -> int:
+        """Messages this plan let through — the reconciliation helper.
+
+        For any run over a :class:`~repro.network.simulator.PeerNetwork`
+        this equals ``stats.sent - stats.dropped``: the simulator asks
+        the plan once per transmitted leg, except for messages to crashed
+        peers it short-circuits (those are counted in
+        ``stats.crash_dropped``, never reaching the plan).
+        """
+        return self._audit.decisions - self._audit.dropped

@@ -26,10 +26,21 @@ class Message:
 
 @dataclass(slots=True)
 class MessageStats:
-    """Running totals of network traffic, split by message kind."""
+    """Running totals of network traffic, split by message kind.
+
+    ``dropped`` counts every lost message; ``crash_dropped`` is the
+    subset lost to messages addressed at a crashed peer (the simulator
+    short-circuits those without consulting the failure plan, so the
+    reconciliation ``dropped == plan.drop_decisions + crash_dropped``
+    holds exactly).  ``deduped`` counts redelivered sequence-numbered
+    requests answered from the replay cache instead of re-invoking the
+    recipient's handler.
+    """
 
     sent: int = 0
     dropped: int = 0
+    crash_dropped: int = 0
+    deduped: int = 0
     total_size: float = 0.0
     by_kind: Counter = field(default_factory=Counter)
 
@@ -39,15 +50,23 @@ class MessageStats:
         self.total_size += message.size
         self.by_kind[message.kind] += 1
 
-    def record_drop(self, message: Message) -> None:
-        """Account one lost message."""
+    def record_drop(self, message: Message, crashed: bool = False) -> None:
+        """Account one lost message (``crashed``: lost to a dead peer)."""
         self.dropped += 1
+        if crashed:
+            self.crash_dropped += 1
+
+    def record_dedup(self) -> None:
+        """Account one request replayed from the dedup cache."""
+        self.deduped += 1
 
     def snapshot(self) -> dict[str, float]:
         """A plain-dict summary for reports and assertions."""
         return {
             "sent": self.sent,
             "dropped": self.dropped,
+            "crash_dropped": self.crash_dropped,
+            "deduped": self.deduped,
             "total_size": self.total_size,
             **{f"kind:{kind}": count for kind, count in sorted(self.by_kind.items())},
         }
@@ -56,5 +75,7 @@ class MessageStats:
         """Zero all counters."""
         self.sent = 0
         self.dropped = 0
+        self.crash_dropped = 0
+        self.deduped = 0
         self.total_size = 0.0
         self.by_kind.clear()

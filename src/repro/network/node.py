@@ -21,7 +21,14 @@ from repro.network.simulator import PeerNetwork
 
 
 class UserDevice:
-    """One peer: private position plus local proximity knowledge."""
+    """One peer: private position plus local proximity knowledge.
+
+    The device keeps a disclosure ledger: every handler invocation is
+    counted and every bound hypothesis it *answered* is remembered.  The
+    fault-matrix suite reconciles these ledgers against the network's
+    message counters to prove that retransmissions and protocol restarts
+    never widen the designed one-bit-per-hypothesis disclosure.
+    """
 
     def __init__(
         self,
@@ -32,11 +39,33 @@ class UserDevice:
         self._id = user_id
         self._position = position
         self._adjacency = graph.adjacency_message(user_id)
+        self._verify_invocations = 0
+        self._adjacency_invocations = 0
+        self._questions: set[tuple[int, float, float]] = set()
 
     @property
     def user_id(self) -> int:
         """This device's user id."""
         return self._id
+
+    @property
+    def verify_invocations(self) -> int:
+        """How many times this device computed a verify answer."""
+        return self._verify_invocations
+
+    @property
+    def adjacency_invocations(self) -> int:
+        """How many times this device served its adjacency list."""
+        return self._adjacency_invocations
+
+    @property
+    def questions_answered(self) -> frozenset[tuple[int, float, float]]:
+        """Distinct ``(axis, sign, bound)`` hypotheses ever answered.
+
+        Each answered hypothesis leaks exactly one bit; this set is the
+        device's entire disclosure, whatever the network did.
+        """
+        return frozenset(self._questions)
 
     def attach(self, network: PeerNetwork) -> None:
         """Register this device's handlers on ``network``."""
@@ -46,6 +75,7 @@ class UserDevice:
     # -- handlers -------------------------------------------------------------
 
     def _handle_adjacency(self, sender: int, payload: Any) -> dict[int, float]:
+        self._adjacency_invocations += 1
         return dict(self._adjacency)
 
     def _handle_verify(self, sender: int, payload: Any) -> bool:
@@ -61,6 +91,8 @@ class UserDevice:
             raise ProtocolError(f"malformed verify_bound payload: {payload!r}") from exc
         if axis not in (0, 1) or sign not in (-1.0, 1.0, -1, 1):
             raise ProtocolError(f"malformed verify_bound payload: {payload!r}")
+        self._verify_invocations += 1
+        self._questions.add((axis, float(sign), float(bound)))
         return sign * self._position.coordinate(axis) <= bound
 
 

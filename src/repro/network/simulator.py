@@ -8,6 +8,17 @@ message.  Both legs are counted and both can be lost under a
 budget re-issues the call, and exhausting the budget raises
 :class:`MessageDropped` (or :class:`PeerCrashed` when the peer is known
 dead) for the protocol layer to handle.
+
+:meth:`PeerNetwork.attempt` is the single-attempt primitive the
+fault-tolerant runtime (:mod:`repro.network.reliability`) builds its
+backoff/retry loop on.  An attempt may carry a *sequence number*: the
+recipient keeps a replay cache keyed by ``(sender, recipient, kind,
+seq)``, so a retransmitted request whose original answer was lost is
+answered from the cache without re-invoking the handler — idempotent
+redelivery.  A device therefore computes each sequence-numbered answer
+exactly once however often the network forces a resend, which is what
+keeps retries from widening the one-bit-per-hypothesis disclosure of the
+secure bounding protocol.
 """
 
 from __future__ import annotations
@@ -24,11 +35,27 @@ Handler = Callable[[int, Any], Any]
 
 
 class MessageDropped(ProtocolError):
-    """A call (request or response leg) was lost and retries ran out."""
+    """A call (request or response leg) was lost and retries ran out.
+
+    ``peer`` identifies the unresponsive recipient when known, so the
+    reliability layer can attribute consecutive losses to a peer.
+    """
+
+    def __init__(self, message: str, peer: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.peer = peer
 
 
 class PeerCrashed(ProtocolError):
-    """The peer is crashed; no number of retries will ever succeed."""
+    """The peer is crashed; no number of retries will ever succeed.
+
+    ``peer`` identifies the dead peer so the protocol layer can evict it
+    and re-form the cluster with the survivors.
+    """
+
+    def __init__(self, message: str, peer: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.peer = peer
 
 
 class PeerNetwork:
@@ -44,6 +71,7 @@ class PeerNetwork:
         self._handlers: dict[int, dict[str, Handler]] = {}
         self._failures = failure_plan if failure_plan is not None else FailurePlan()
         self._default_retries = default_retries
+        self._replay: dict[tuple[int, int, str, int], Any] = {}
         self.stats = MessageStats()
 
     # -- registration -----------------------------------------------------------
@@ -56,7 +84,83 @@ class PeerNetwork:
         """True if ``peer`` has any registered handler."""
         return peer in self._handlers
 
+    @property
+    def failure_plan(self) -> FailurePlan:
+        """The plan deciding which messages this network loses."""
+        return self._failures
+
     # -- calling -----------------------------------------------------------------
+
+    def attempt(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        response_size: float = 1.0,
+        seq: Optional[int] = None,
+    ) -> Any:
+        """One call attempt: request leg, handler, response leg.
+
+        Raises :class:`PeerCrashed` when the recipient is dead (the
+        request message is still wasted discovering this) and
+        :class:`MessageDropped` when either leg is lost.  With ``seq``,
+        a retransmission whose request already reached the recipient is
+        answered from the replay cache instead of re-invoking the
+        handler (idempotent redelivery).
+        """
+        handlers = self._handlers.get(recipient)
+        if handlers is None or kind not in handlers:
+            raise ProtocolError(f"peer {recipient} has no handler for {kind!r}")
+        recording = obs.enabled()
+        if recipient in self._failures.crashed:
+            request = Message(sender, recipient, kind, payload)
+            self.stats.record(request)
+            self.stats.record_drop(request, crashed=True)
+            if recording:
+                obs.inc(metric.NETWORK_MESSAGES_SENT)
+                obs.inc(metric.NETWORK_MESSAGES_DROPPED)
+                obs.inc(metric.network_kind(kind))
+            raise PeerCrashed(f"peer {recipient} is down", peer=recipient)
+        request = Message(sender, recipient, kind, payload)
+        self.stats.record(request)
+        if recording:
+            obs.inc(metric.NETWORK_MESSAGES_SENT)
+            obs.inc(metric.network_kind(kind))
+        if self._failures.should_drop(sender, recipient):
+            self.stats.record_drop(request)
+            if recording:
+                obs.inc(metric.NETWORK_MESSAGES_DROPPED)
+            raise MessageDropped(
+                f"request {kind!r} from {sender} to {recipient} lost",
+                peer=recipient,
+            )
+        key = None if seq is None else (sender, recipient, kind, seq)
+        if key is not None and key in self._replay:
+            result = self._replay[key]
+            self.stats.record_dedup()
+            if recording:
+                obs.inc(metric.NETWORK_DEDUP_REPLAYS)
+        else:
+            result = handlers[kind](sender, payload)
+            if key is not None:
+                self._replay[key] = result
+        response = Message(
+            recipient, sender, f"{kind}:reply", result, size=response_size
+        )
+        self.stats.record(response)
+        if recording:
+            obs.inc(metric.NETWORK_MESSAGES_SENT)
+            obs.inc(metric.network_kind(response.kind))
+        if self._failures.should_drop(recipient, sender):
+            self.stats.record_drop(response)
+            if recording:
+                obs.inc(metric.NETWORK_MESSAGES_DROPPED)
+            raise MessageDropped(
+                f"response {response.kind!r} from {recipient} to {sender} lost",
+                peer=recipient,
+            )
+        return result
 
     def call(
         self,
@@ -73,49 +177,23 @@ class PeerNetwork:
         the recipient is crashed (the caller can give up immediately) and
         :class:`MessageDropped` when transient losses exhaust the budget.
         """
-        handlers = self._handlers.get(recipient)
-        if handlers is None or kind not in handlers:
-            raise ProtocolError(f"peer {recipient} has no handler for {kind!r}")
         budget = self._default_retries if retries is None else retries
-        recording = obs.enabled()
-        if recording:
+        if obs.enabled():
             obs.inc(metric.NETWORK_CALLS)
-        if recipient in self._failures.crashed:
-            # The caller still wastes its request messages discovering this.
-            for _attempt in range(budget + 1):
-                self.stats.record(Message(sender, recipient, kind, payload))
-                self.stats.record_drop(Message(sender, recipient, kind, payload))
-            if recording:
-                obs.inc(metric.NETWORK_MESSAGES_SENT, budget + 1)
-                obs.inc(metric.NETWORK_MESSAGES_DROPPED, budget + 1)
-                obs.inc(metric.network_kind(kind), budget + 1)
-            raise PeerCrashed(f"peer {recipient} is down")
-        for attempt in range(budget + 1):
-            request = Message(sender, recipient, kind, payload)
-            self.stats.record(request)
-            if recording:
-                obs.inc(metric.NETWORK_MESSAGES_SENT)
-                obs.inc(metric.network_kind(kind))
-            if self._failures.should_drop(sender, recipient):
-                self.stats.record_drop(request)
-                if recording:
-                    obs.inc(metric.NETWORK_MESSAGES_DROPPED)
+        crashed: Optional[PeerCrashed] = None
+        for _attempt in range(budget + 1):
+            try:
+                return self.attempt(sender, recipient, kind, payload, response_size)
+            except PeerCrashed as exc:
+                # The caller still wastes its request messages discovering
+                # this; re-raised once the whole budget is burnt.
+                crashed = exc
+            except MessageDropped:
                 continue
-            result = handlers[kind](sender, payload)
-            response = Message(
-                recipient, sender, f"{kind}:reply", result, size=response_size
-            )
-            self.stats.record(response)
-            if recording:
-                obs.inc(metric.NETWORK_MESSAGES_SENT)
-                obs.inc(metric.network_kind(response.kind))
-            if self._failures.should_drop(recipient, sender):
-                self.stats.record_drop(response)
-                if recording:
-                    obs.inc(metric.NETWORK_MESSAGES_DROPPED)
-                continue
-            return result
+        if crashed is not None:
+            raise crashed
         raise MessageDropped(
             f"call {kind!r} from {sender} to {recipient} lost after "
-            f"{budget + 1} attempt(s)"
+            f"{budget + 1} attempt(s)",
+            peer=recipient,
         )

@@ -73,6 +73,26 @@ NETWORK_MESSAGES_DROPPED = "network.messages_dropped"
 NETWORK_CALLS = "network.calls"
 NETWORK_LATENCY_SECONDS = "network.latency_seconds"  # histogram (simulated)
 
+# -- fault-tolerant runtime (reliability layer) -----------------------------------
+
+#: Call attempts re-issued after a presumed-lost message (timeout).
+NETWORK_RETRIES = "network.retries"
+#: Simulated seconds spent waiting in capped-exponential backoff.
+NETWORK_BACKOFF_SECONDS = "network.backoff_seconds"
+#: Redelivered sequence-numbered requests answered from the replay cache
+#: instead of re-invoking the handler (idempotent redelivery).
+NETWORK_DEDUP_REPLAYS = "network.dedup_replays"
+#: Peers declared crashed by the failure detector (consecutive timeouts).
+NETWORK_PEERS_SUSPECTED = "network.peers_suspected"
+#: Unresponsive peers evicted from a forming cluster.
+CLUSTERING_EVICTIONS = "clustering.evictions"
+#: Cluster re-formations after an eviction or unrecoverable loss.
+CLUSTERING_REFORMS = "clustering.reforms"
+#: Secure-bounding runs restarted with the surviving members.
+BOUNDING_RESTARTS = "bounding.restarts"
+#: Requests that ended in a typed clean :class:`ProtocolAbort`.
+PROTOCOL_ABORTS = "protocol.aborts"
+
 _KIND_SANITIZE = re.compile(r"[^a-z0-9_]+")
 
 
