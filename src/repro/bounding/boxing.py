@@ -41,12 +41,19 @@ class BoxBoundingResult:
 #: per-run state such as an exact-DP cache).
 PolicyFactory = Callable[[], IncrementPolicy]
 
+#: A 2-D transcript tap: ``recorder(direction, member_index, bound,
+#: agreed)`` with ``direction`` one of ``x_max``/``x_min``/``y_max``/
+#: ``y_min``.  Bounds are reported in the direction's *signed* domain
+#: (``x_min`` bounds ``-x``), matching the wire-level protocol payloads.
+BoxAnswerRecorder = Callable[[str, int, float, bool], None]
+
 
 def secure_bounding_box(
     members: Sequence[Point],
     host_index: int,
     policy_factory: PolicyFactory,
     clip_to: Rect | None = None,
+    recorder: BoxAnswerRecorder | None = None,
 ) -> BoxBoundingResult:
     """Cloak ``members`` into a rectangle via four progressive runs.
 
@@ -64,24 +71,37 @@ def secure_bounding_box(
     clip_to:
         Optional region to clip the final box to (the unit square in the
         experiments — bounds beyond the map edge carry no information).
+    recorder:
+        Optional transcript tap receiving every yes/no answer of all four
+        directional runs (see :data:`BoxAnswerRecorder`).
     """
     if not 0 <= host_index < len(members):
         raise ConfigurationError(
             f"host_index {host_index} out of range for {len(members)} members"
         )
     host = members[host_index]
+
+    def _tap(direction: str) -> "Callable[[int, float, bool], None] | None":
+        if recorder is None:
+            return None
+        return lambda index, bound, agreed: recorder(direction, index, bound, agreed)
+
     runs = {
         "x_max": progressive_upper_bound(
-            [p.x for p in members], host.x, policy_factory()
+            [p.x for p in members], host.x, policy_factory(),
+            recorder=_tap("x_max"),
         ),
         "x_min": progressive_upper_bound(
-            [-p.x for p in members], -host.x, policy_factory()
+            [-p.x for p in members], -host.x, policy_factory(),
+            recorder=_tap("x_min"),
         ),
         "y_max": progressive_upper_bound(
-            [p.y for p in members], host.y, policy_factory()
+            [p.y for p in members], host.y, policy_factory(),
+            recorder=_tap("y_max"),
         ),
         "y_min": progressive_upper_bound(
-            [-p.y for p in members], -host.y, policy_factory()
+            [-p.y for p in members], -host.y, policy_factory(),
+            recorder=_tap("y_min"),
         ),
     }
     region = Rect(

@@ -27,12 +27,49 @@ class PrivacyLoss:
     users who actually verified (users covered by the starting bound leak
     nothing and are excluded).  ``worst_bits`` expresses the worst leak in
     bits relative to ``domain``: ``log2(domain / min_width)``.
+
+    **Empty-run sentinel contract.**  A run in which *no* user was pinned
+    to a finite interval (everyone was covered by the starting bound, or
+    there were no runs at all) reports the canonical sentinel
+    :meth:`empty`: ``users_measured=0``, ``min_width=mean_width=inf`` and
+    ``worst_bits=0.0``.  The widths are ``inf`` because that is the
+    identity of min-aggregation — folding an empty loss into a sweep can
+    never shrink a real minimum; ``worst_bits`` is ``0.0`` (not the
+    algebraic ``log2(domain/inf) = -inf``) because "nothing leaked" must
+    be the identity of max-aggregation and must not poison sums or plots
+    downstream.  Check :attr:`is_empty` instead of comparing floats.
     """
 
     users_measured: int
     min_width: float
     mean_width: float
     worst_bits: float
+
+    def __post_init__(self) -> None:
+        if self.users_measured < 0:
+            raise ConfigurationError(
+                f"users_measured must be >= 0, got {self.users_measured}"
+            )
+        if self.users_measured == 0 and (
+            not math.isinf(self.min_width)
+            or not math.isinf(self.mean_width)
+            or self.worst_bits != 0.0
+        ):
+            raise ConfigurationError(
+                "an empty PrivacyLoss must use the canonical sentinel "
+                "(min_width=mean_width=inf, worst_bits=0.0); "
+                "use PrivacyLoss.empty()"
+            )
+
+    @classmethod
+    def empty(cls) -> "PrivacyLoss":
+        """The canonical no-users-measured sentinel (see class docs)."""
+        return cls(0, math.inf, math.inf, 0.0)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no user was pinned to a finite interval."""
+        return self.users_measured == 0
 
 
 def privacy_loss_intervals(outcome: BoundingOutcome) -> list[float]:
@@ -54,7 +91,7 @@ def privacy_loss_metric(
     for outcome in outcomes:
         widths.extend(privacy_loss_intervals(outcome))
     if not widths:
-        return PrivacyLoss(0, math.inf, math.inf, 0.0)
+        return PrivacyLoss.empty()
     min_width = min(widths)
     return PrivacyLoss(
         users_measured=len(widths),

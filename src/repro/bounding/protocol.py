@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro import obs
 from repro.errors import BoundingError, ConfigurationError
@@ -81,11 +81,19 @@ class BoundingOutcome:
         return self.bound - max(values)
 
 
+#: A transcript tap: called once per yes/no answer the host observes, as
+#: ``recorder(participant_index, hypothesised_bound, agreed)``.  The
+#: initial screening at ``start`` is reported too (it costs no message,
+#: but it is information the host holds — the auditor must see it).
+AnswerRecorder = Callable[[int, float, bool], None]
+
+
 def progressive_upper_bound(
     values: Sequence[float],
     start: float,
     policy: IncrementPolicy,
     max_iterations: int = 1_000_000,
+    recorder: Optional[AnswerRecorder] = None,
 ) -> BoundingOutcome:
     """Run Algorithm 4 to an upper bound of ``values``.
 
@@ -97,6 +105,11 @@ def progressive_upper_bound(
     them.
 
     Lower bounds are the same protocol on negated values.
+
+    ``recorder``, when given, receives every yes/no answer the host
+    learns — including the zero-cost initial screening — so an external
+    auditor can recompute the agreement intervals from the transcript
+    alone (:mod:`repro.verify.transcript`).
     """
     if not values:
         raise ConfigurationError("cannot bound an empty value set")
@@ -106,6 +119,9 @@ def progressive_upper_bound(
         i: (float("-inf"), start) for i, v in enumerate(values) if v <= bound
     }
     rounds: dict[int, int] = {i: 0 for i in intervals}
+    if recorder is not None:
+        for i, v in enumerate(values):
+            recorder(i, start, v <= start)
     iterations = 0
     messages = 0
     while disagreeing:
@@ -125,6 +141,9 @@ def progressive_upper_bound(
         iterations += 1
         # Every still-disagreeing user verifies the new bound: Cb each.
         messages += len(disagreeing)
+        if recorder is not None:
+            for index, value in disagreeing.items():
+                recorder(index, bound, value <= bound)
         for index in [i for i, v in disagreeing.items() if v <= bound]:
             intervals[index] = (previous, bound)
             rounds[index] = iterations

@@ -42,3 +42,14 @@ class ProtocolError(ReproError):
 
 class DatasetError(ReproError):
     """A dataset could not be generated, parsed, or normalised."""
+
+
+class VerificationError(ReproError):
+    """An exact oracle or transcript audit found an inconsistency.
+
+    Raised by :mod:`repro.verify` when an oracle is asked something
+    outside its exact regime (e.g. brute-force enumeration beyond its
+    vertex cap) or when a replayed transcript contradicts itself.  An
+    *invariant violation* over a fuzzed world is reported as data, not an
+    exception — see :mod:`repro.verify.invariants`.
+    """

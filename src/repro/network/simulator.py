@@ -84,6 +84,19 @@ class PeerNetwork:
         """True if ``peer`` has any registered handler."""
         return peer in self._handlers
 
+    def handler(self, peer: int, kind: str) -> Handler:
+        """The handler installed for ``(peer, kind)``.
+
+        Exists so auditing layers (the verification transcript tap) can
+        wrap a live handler: fetch it, re-register a recording wrapper
+        around it.  Raises :class:`ProtocolError` when nothing is
+        registered.
+        """
+        handlers = self._handlers.get(peer)
+        if handlers is None or kind not in handlers:
+            raise ProtocolError(f"peer {peer} has no handler for {kind!r}")
+        return handlers[kind]
+
     @property
     def failure_plan(self) -> FailurePlan:
         """The plan deciding which messages this network loses."""

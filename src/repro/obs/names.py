@@ -107,6 +107,20 @@ def network_kind(kind: str) -> str:
     return f"network.messages.{cleaned}"
 
 
+# -- differential verification (fuzz harness) -------------------------------------
+
+VERIFY_WORLDS = "verify.worlds"
+VERIFY_REQUESTS = "verify.requests"
+#: Requests that ended in a documented clean failure (undersized
+#: component, typed protocol abort) rather than a served region.
+VERIFY_CLEAN_FAILURES = "verify.clean_failures"
+VERIFY_INVARIANT_CHECKS = "verify.invariant_checks"
+VERIFY_VIOLATIONS = "verify.violations"
+#: Worlds additionally replayed message-level through the peer network.
+VERIFY_P2P_WORLDS = "verify.p2p_worlds"
+
+SPAN_VERIFY_WORLD = "verify.world"
+
 # -- LBS server ------------------------------------------------------------------
 
 SERVER_REQUESTS = "server.requests"

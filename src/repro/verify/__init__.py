@@ -1,0 +1,60 @@
+"""Differential verification: exact oracles, fuzzed worlds, invariants.
+
+The optimized pipeline (vectorized WPG construction, dendrogram
+clustering, progressive bounding, message-level protocols) is checked
+against independent from-definition implementations:
+
+* :mod:`repro.verify.oracles` — brute-force/level-scan oracles that are
+  *exact* on small instances and share no code with the algorithms they
+  audit;
+* :mod:`repro.verify.transcript` — a wire-level tap that recomputes each
+  user's agreement interval from the yes/no messages alone;
+* :mod:`repro.verify.worlds` — seeded and Hypothesis-driven generation of
+  whole simulation worlds (dataset x radio model x k x policy x faults);
+* :mod:`repro.verify.invariants` — the registry of end-to-end properties
+  every served world must satisfy;
+* :mod:`repro.verify.fuzz` — the seed-replay CLI
+  (``python -m repro.verify.fuzz``) that runs N worlds through the real
+  engines, checks every registered invariant, and dumps a minimal JSON
+  repro on failure.
+"""
+
+from repro.verify.oracles import (
+    ORACLE_MAX_VERTICES,
+    bottleneck_connectivity,
+    oracle_bounding_box,
+    oracle_isolation_violations,
+    oracle_min_mew_clusters,
+    oracle_smallest_cluster,
+)
+from repro.verify.transcript import (
+    TranscriptRecorder,
+    VerificationMessage,
+    audit_intervals,
+)
+from repro.verify.worlds import World, build_world, random_world
+from repro.verify.invariants import (
+    Violation,
+    WorldRun,
+    check_world,
+    registered_invariants,
+)
+
+__all__ = [
+    "ORACLE_MAX_VERTICES",
+    "TranscriptRecorder",
+    "VerificationMessage",
+    "Violation",
+    "World",
+    "WorldRun",
+    "audit_intervals",
+    "bottleneck_connectivity",
+    "build_world",
+    "check_world",
+    "oracle_bounding_box",
+    "oracle_isolation_violations",
+    "oracle_min_mew_clusters",
+    "oracle_smallest_cluster",
+    "random_world",
+    "registered_invariants",
+]

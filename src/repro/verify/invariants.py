@@ -1,0 +1,499 @@
+"""The invariant registry: what every served world must satisfy.
+
+Each invariant is a function over a :class:`WorldRun` (one fuzzed world
+plus everything the engines produced for it) returning a list of
+human-readable violation details — empty when the property holds.
+:func:`check_world` runs every registered invariant and folds the
+results into :class:`Violation` records carrying the world's JSON repro.
+
+A violation is *data*, not an exception: the fuzz CLI keeps checking the
+remaining invariants and worlds so one bug surfaces with its full blast
+radius, then exits nonzero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.clustering.centralized import strict_partition
+from repro.clustering.isolation import (
+    border_condition_holds,
+    isolation_counterexample,
+    smallest_valid_cluster_rule,
+)
+from repro.cloaking.engine import CloakingEngine, CloakingResult
+from repro.cloaking.p2p_engine import P2PCloakingResult
+from repro.errors import VerificationError
+from repro.geometry.rect import Rect
+from repro.network.node import UserDevice
+from repro.obs import names as metric
+from repro.verify.oracles import (
+    ORACLE_MAX_VERTICES,
+    oracle_bounding_box,
+    oracle_isolation_violations,
+    oracle_min_mew_clusters,
+    oracle_smallest_cluster,
+)
+from repro.verify.transcript import (
+    TranscriptRecorder,
+    audit_intervals,
+    DIRECTION_PAYLOAD,
+)
+from repro.verify.worlds import BuiltWorld
+
+#: Worlds larger than this skip the exhaustive isolation sweep (it is
+#: quadratic in users times a level scan each — exact, not fast).
+ISOLATION_SWEEP_MAX_USERS = 40
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One invariant failure, carrying everything needed to replay it."""
+
+    invariant: str
+    detail: str
+    world: dict
+
+
+@dataclass(slots=True)
+class RequestRecord:
+    """One request served during a fuzzed world, with its prior state."""
+
+    host: int
+    assigned_before: frozenset[int]
+    result: Optional[CloakingResult] = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None  # "clustering" | "abort" | "unexpected"
+
+
+@dataclass(slots=True)
+class P2PObservation:
+    """The message-level replay of a world: traffic, tap, devices."""
+
+    results: List[P2PCloakingResult]
+    recorder: TranscriptRecorder
+    devices: Dict[int, UserDevice]
+    analytic: List[CloakingResult]
+    #: Hosts where exactly one of the two protocols failed.
+    mismatches: List[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class WorldRun:
+    """Everything one fuzzed world produced, ready for invariant checks."""
+
+    built: BuiltWorld
+    engine: Optional[CloakingEngine]
+    records: List[RequestRecord] = field(default_factory=list)
+    replay_records: Optional[List[RequestRecord]] = None
+    p2p: Optional[P2PObservation] = None
+
+
+Invariant = Callable[[WorldRun], List[str]]
+
+_REGISTRY: Dict[str, Invariant] = {}
+
+
+def invariant(name: str) -> Callable[[Invariant], Invariant]:
+    """Register an invariant under ``name`` (decorator)."""
+
+    def _register(func: Invariant) -> Invariant:
+        if name in _REGISTRY:
+            raise ValueError(f"invariant {name!r} registered twice")
+        _REGISTRY[name] = func
+        return func
+
+    return _register
+
+
+def registered_invariants() -> tuple[str, ...]:
+    """The names of every registered invariant, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def check_world(run: WorldRun, names: Optional[List[str]] = None) -> List[Violation]:
+    """Run the registered invariants over one world's outcomes."""
+    violations: List[Violation] = []
+    world_dict = run.built.world.to_dict()
+    recording = obs.enabled()
+    for name, func in _REGISTRY.items():
+        if names is not None and name not in names:
+            continue
+        if recording:
+            obs.inc(metric.VERIFY_INVARIANT_CHECKS)
+        try:
+            details = func(run)
+        except Exception as exc:  # an invariant crashing IS a finding
+            details = [f"invariant crashed: {type(exc).__name__}: {exc}"]
+        for detail in details:
+            violations.append(Violation(name, detail, world_dict))
+        if details and recording:
+            obs.inc(metric.VERIFY_VIOLATIONS, len(details))
+    return violations
+
+
+def _successes(run: WorldRun) -> List[CloakingResult]:
+    return [r.result for r in run.records if r.result is not None]
+
+
+# -- WPG construction ---------------------------------------------------------------
+
+
+@invariant("wpg-fast-scalar-equal")
+def _wpg_differential(run: WorldRun) -> List[str]:
+    """The vectorized and scalar WPG builders must agree exactly."""
+    fast, scalar = run.built.graph, run.built.scalar_graph
+    details: List[str] = []
+    if set(fast.vertices()) != set(scalar.vertices()):
+        details.append("fast/scalar WPG vertex sets differ")
+        return details
+    fast_edges = {e.key(): e.weight for e in fast.edges()}
+    scalar_edges = {e.key(): e.weight for e in scalar.edges()}
+    if fast_edges != scalar_edges:
+        diff = set(fast_edges.items()) ^ set(scalar_edges.items())
+        details.append(
+            f"fast/scalar WPG edge maps differ on {len(diff)} entries "
+            f"(e.g. {sorted(diff)[:3]})"
+        )
+    return details
+
+
+# -- anonymity and containment ------------------------------------------------------
+
+
+@invariant("k-anonymity")
+def _k_anonymity(run: WorldRun) -> List[str]:
+    """Every served region provides k-anonymity; the registry reciprocates."""
+    k = run.built.config.k
+    faulty = run.built.world.faulty
+    details: List[str] = []
+    for result in _successes(run):
+        if result.host not in result.cluster.members:
+            details.append(f"host {result.host} missing from its own cluster")
+        if result.cluster.size < k:
+            details.append(
+                f"host {result.host}: cluster of {result.cluster.size} < k={k}"
+            )
+        if result.region.anonymity < k:
+            details.append(
+                f"host {result.host}: region anonymity "
+                f"{result.region.anonymity} < k={k}"
+            )
+        if not faulty and result.region.anonymity != result.cluster.size:
+            details.append(
+                f"host {result.host}: anonymity {result.region.anonymity} "
+                f"!= cluster size {result.cluster.size}"
+            )
+    if run.engine is not None:
+        try:
+            run.engine.clustering.registry.check_reciprocity()
+        except Exception as exc:
+            details.append(f"registry reciprocity violated: {exc}")
+    return details
+
+
+@invariant("member-containment")
+def _containment(run: WorldRun) -> List[str]:
+    """The cloak contains every member's true coordinate.
+
+    Skipped for fault worlds: an evicted member is no longer covered by
+    design (graceful degradation keeps anonymity >= k over survivors).
+    """
+    if run.built.world.faulty:
+        return []
+    dataset = run.built.dataset
+    details: List[str] = []
+    for result in _successes(run):
+        for member in sorted(result.cluster.members):
+            if not result.region.rect.contains(dataset[member]):
+                details.append(
+                    f"host {result.host}: member {member} at "
+                    f"{dataset[member]} outside cloak {result.region.rect}"
+                )
+    return details
+
+
+@invariant("cloak-vs-oracle-box")
+def _cloak_vs_oracle(run: WorldRun) -> List[str]:
+    """The cloak matches the direct-coordinate oracle box.
+
+    With the ``optimal`` policy the cloak must *equal* the oracle box
+    exactly (same floats).  Progressive policies only ever overshoot, so
+    the cloak must contain it; the granularity expansion preserves that.
+    """
+    if run.built.world.faulty:
+        return []
+    dataset = run.built.dataset
+    optimal = run.built.world.policy == "optimal"
+    details: List[str] = []
+    for result in _successes(run):
+        points = [dataset[m] for m in sorted(result.cluster.members)]
+        oracle = oracle_bounding_box(points)
+        cloak = result.region.rect
+        if optimal:
+            if cloak != oracle:
+                details.append(
+                    f"host {result.host}: optimal cloak {cloak} != "
+                    f"oracle box {oracle}"
+                )
+        elif not cloak.contains_rect(oracle):
+            details.append(
+                f"host {result.host}: cloak {cloak} does not contain "
+                f"oracle box {oracle}"
+            )
+    return details
+
+
+@invariant("region-reciprocity")
+def _region_reciprocity(run: WorldRun) -> List[str]:
+    """One cluster, one region: every member sees the identical rectangle."""
+    seen: Dict[frozenset, Rect] = {}
+    details: List[str] = []
+    for result in _successes(run):
+        members = result.cluster.members
+        previous = seen.get(members)
+        if previous is None:
+            seen[members] = result.region.rect
+        elif previous != result.region.rect:
+            details.append(
+                f"cluster {sorted(members)[:6]}... served two regions: "
+                f"{previous} and {result.region.rect}"
+            )
+    return details
+
+
+# -- clustering oracles -------------------------------------------------------------
+
+
+@invariant("clustering-level-scan")
+def _clustering_level_scan(run: WorldRun) -> List[str]:
+    """Dendrogram rule == from-definition level scan, per requested host."""
+    graph = run.built.graph
+    k = run.built.config.k
+    details: List[str] = []
+    for host in run.built.hosts:
+        rule = smallest_valid_cluster_rule(graph, host, k)
+        scan = oracle_smallest_cluster(graph, host, k)
+        scan_set = None if scan is None else set(scan[0])
+        if rule != scan_set:
+            details.append(
+                f"host {host}: dendrogram rule {rule and sorted(rule)} != "
+                f"level scan {scan_set and sorted(scan_set)}"
+            )
+    return details
+
+
+@invariant("min-mew-exhaustive")
+def _min_mew(run: WorldRun) -> List[str]:
+    """Subset-enumeration min-MEW agrees with the level scan (small comps)."""
+    graph = run.built.graph
+    k = run.built.config.k
+    details: List[str] = []
+    for host in run.built.hosts:
+        scan = oracle_smallest_cluster(graph, host, k)
+        try:
+            exact = oracle_min_mew_clusters(graph, host, k)
+        except VerificationError:
+            continue  # component above the exact regime; skip
+        if (exact is None) != (scan is None):
+            details.append(
+                f"host {host}: exhaustive oracle "
+                f"{'found no' if exact is None else 'found a'} cluster but "
+                f"level scan disagrees"
+            )
+            continue
+        if exact is None or scan is None:
+            continue
+        t_exact, minimizers = exact
+        cluster, t_scan = scan
+        if t_exact != t_scan:
+            details.append(
+                f"host {host}: exhaustive min-MEW t={t_exact} != "
+                f"level-scan t={t_scan}"
+            )
+        for subset in minimizers:
+            if not subset <= cluster:
+                details.append(
+                    f"host {host}: minimizer {sorted(subset)} escapes the "
+                    f"level-scan cluster {sorted(cluster)}"
+                )
+                break
+    return details
+
+
+@invariant("isolation-theorem-4.4")
+def _isolation(run: WorldRun) -> List[str]:
+    """Theorem 4.4 plus checker cross-validation on small worlds.
+
+    For every strict t-component cluster: the repo's
+    :func:`isolation_counterexample` and the independent level-scan
+    auditor must agree on whether the cluster is isolated, and whenever
+    the border condition holds at the cluster's internal t, both must
+    find it isolated.
+    """
+    graph = run.built.graph
+    if graph.vertex_count > ISOLATION_SWEEP_MAX_USERS:
+        return []
+    k = run.built.config.k
+    details: List[str] = []
+    partition = strict_partition(graph, k)
+    for cluster in partition.clusters:
+        oracle = oracle_isolation_violations(graph, cluster, k)
+        witness = isolation_counterexample(graph, cluster, k)
+        if (witness is None) != (not oracle):
+            details.append(
+                f"cluster {sorted(cluster)[:6]}: repo checker says "
+                f"{witness!r}, oracle says {oracle[:4]!r}"
+            )
+        sub = graph.subgraph(cluster)
+        t = max((e.weight for e in sub.edges()), default=0.0)
+        if border_condition_holds(graph, cluster, t, k) and oracle:
+            details.append(
+                f"Theorem 4.4 violated: border condition holds for "
+                f"{sorted(cluster)[:6]} at t={t} yet vertices {oracle[:4]} "
+                "change cluster on removal"
+            )
+    return details
+
+
+@invariant("clean-failure-justified")
+def _clean_failures(run: WorldRun) -> List[str]:
+    """A refused request must be genuinely unservable (oracle-confirmed)."""
+    if run.built.world.faulty:
+        return []  # network failures are their own justification
+    graph = run.built.graph
+    k = run.built.config.k
+    details: List[str] = []
+    for record in run.records:
+        if record.error_kind != "clustering":
+            continue
+        scan = oracle_smallest_cluster(
+            graph, record.host, k, exclude=record.assigned_before
+        )
+        if scan is not None:
+            details.append(
+                f"host {record.host} was refused ({record.error}) but the "
+                f"oracle finds a valid cluster {sorted(scan[0])[:6]}"
+            )
+    return details
+
+
+@invariant("unexpected-errors")
+def _unexpected_errors(run: WorldRun) -> List[str]:
+    """Only typed clean failures may surface from a request."""
+    return [
+        f"host {record.host}: {record.error}"
+        for record in run.records
+        if record.error_kind == "unexpected"
+    ]
+
+
+# -- determinism --------------------------------------------------------------------
+
+
+@invariant("deterministic-replay")
+def _deterministic_replay(run: WorldRun) -> List[str]:
+    """Serving the identical world twice is bit-identical (policy off)."""
+    if run.replay_records is None:
+        return []
+    details: List[str] = []
+    if len(run.replay_records) != len(run.records):
+        return [
+            f"replay served {len(run.replay_records)} requests, "
+            f"first run {len(run.records)}"
+        ]
+    for first, second in zip(run.records, run.replay_records):
+        if (first.error is None) != (second.error is None):
+            details.append(
+                f"host {first.host}: first run "
+                f"{'failed' if first.error else 'succeeded'}, replay did not"
+            )
+            continue
+        if first.result is None or second.result is None:
+            if first.error != second.error:
+                details.append(
+                    f"host {first.host}: failure differs between runs: "
+                    f"{first.error!r} vs {second.error!r}"
+                )
+            continue
+        a, b = first.result, second.result
+        if (
+            a.region.rect != b.region.rect
+            or a.cluster.members != b.cluster.members
+            or a.clustering_messages != b.clustering_messages
+            or a.bounding_messages != b.bounding_messages
+            or a.region_from_cache != b.region_from_cache
+        ):
+            details.append(
+                f"host {first.host}: replay diverged "
+                f"({a.region.rect} vs {b.region.rect}, "
+                f"messages {a.total_phase_messages} vs {b.total_phase_messages})"
+            )
+    return details
+
+
+# -- message-level replay -----------------------------------------------------------
+
+
+@invariant("p2p-matches-analytic")
+def _p2p_matches_analytic(run: WorldRun) -> List[str]:
+    """Fault-free wire protocol == analytic protocol, result for result."""
+    if run.p2p is None:
+        return []
+    details: List[str] = list(run.p2p.mismatches)
+    for wire, analytic in zip(run.p2p.results, run.p2p.analytic):
+        if wire.cluster.members != analytic.cluster.members:
+            details.append(
+                f"host {wire.host}: p2p cluster "
+                f"{sorted(wire.cluster.members)[:6]} != analytic "
+                f"{sorted(analytic.cluster.members)[:6]}"
+            )
+            continue
+        if wire.region.rect != analytic.region.rect:
+            details.append(
+                f"host {wire.host}: p2p region {wire.region.rect} != "
+                f"analytic {analytic.region.rect}"
+            )
+    return details
+
+
+@invariant("transcript-audit")
+def _transcript_audit(run: WorldRun) -> List[str]:
+    """The wire transcript alone reproduces the protocol's disclosure.
+
+    Three checks per p2p world: (a) the auditor's recomputed agreement
+    intervals are consistent and contain each member's true signed
+    coordinate; (b) every device's disclosure ledger equals its wire
+    transcript — no hidden question, no unrecorded answer; (c) the
+    auditor never derives an interval for a user the ledger says was
+    never asked.
+    """
+    if run.p2p is None:
+        return []
+    dataset = run.built.dataset
+    details: List[str] = []
+    try:
+        intervals = audit_intervals(run.p2p.recorder.messages)
+    except Exception as exc:
+        return [f"transcript self-contradictory: {exc}"]
+    for (user, direction), (low, high) in intervals.items():
+        axis, sign = DIRECTION_PAYLOAD[direction]
+        value = sign * dataset[user].coordinate(axis)
+        if not (low < value <= high):
+            details.append(
+                f"user {user} {direction}: true signed coordinate {value} "
+                f"outside audited interval ({low}, {high}]"
+            )
+    for user, device in run.p2p.devices.items():
+        transcript_questions = run.p2p.recorder.question_set(user)
+        if device.questions_answered != transcript_questions:
+            missing = device.questions_answered - transcript_questions
+            extra = transcript_questions - device.questions_answered
+            details.append(
+                f"user {user}: ledger/transcript mismatch "
+                f"(ledger-only {sorted(missing)[:3]}, "
+                f"transcript-only {sorted(extra)[:3]})"
+            )
+    return details

@@ -1,0 +1,223 @@
+"""Exact from-definition oracles for the clustering and bounding layers.
+
+Every function here re-derives a quantity the optimized pipeline computes
+— but straight from the paper's definitions, sharing *no* code with the
+implementation under test:
+
+* :func:`oracle_bounding_box` — direct coordinate min/max scan (no
+  :meth:`Rect.from_points`);
+* :func:`oracle_smallest_cluster` — Definition 4.1 level scan: ascending
+  distinct edge weights, plain BFS per level, first t whose component
+  reaches k (the dendrogram computes the same thing via single linkage);
+* :func:`bottleneck_connectivity` — Kruskal-style union scan for the
+  minimum bottleneck value connecting a subset;
+* :func:`oracle_min_mew_clusters` — brute-force enumeration of every
+  subset containing the host (the minimum-MEW k-cluster problem solved
+  by exhaustion, exact for components up to :data:`ORACLE_MAX_VERTICES`);
+* :func:`oracle_isolation_violations` — Property 4.1 checked vertex by
+  vertex with the level-scan rule before/after cluster removal.
+
+The subset enumeration is exponential by design — it is only *correct*,
+never fast.  Asking it about a component larger than
+:data:`ORACLE_MAX_VERTICES` raises :class:`VerificationError` instead of
+silently taking minutes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import combinations
+from typing import Container, Iterable, Optional, Sequence
+
+from repro.errors import VerificationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.graph.wpg import WeightedProximityGraph
+
+#: Hard cap on the component size the exponential oracles accept.  2^12
+#: subsets with a Kruskal scan each stays well under a second.
+ORACLE_MAX_VERTICES = 12
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def oracle_bounding_box(points: Sequence[Point]) -> Rect:
+    """The exact bounding box, computed by a direct coordinate scan."""
+    if not points:
+        raise VerificationError("cannot box an empty point set")
+    x_min = x_max = points[0].x
+    y_min = y_max = points[0].y
+    for p in points[1:]:
+        if p.x < x_min:
+            x_min = p.x
+        if p.x > x_max:
+            x_max = p.x
+        if p.y < y_min:
+            y_min = p.y
+        if p.y > y_max:
+            y_max = p.y
+    return Rect(x_min, x_max, y_min, y_max)
+
+
+def _level_component(
+    graph: WeightedProximityGraph,
+    start: int,
+    t: float,
+    exclude: Container[int] = _EMPTY,
+) -> set[int]:
+    """Plain BFS over edges of weight <= t (Definition 4.1, verbatim)."""
+    component = {start}
+    queue: deque[int] = deque([start])
+    while queue:
+        vertex = queue.popleft()
+        for neighbor, weight in graph.neighbor_weights(vertex):
+            if weight <= t and neighbor not in component and neighbor not in exclude:
+                component.add(neighbor)
+                queue.append(neighbor)
+    return component
+
+
+def oracle_smallest_cluster(
+    graph: WeightedProximityGraph,
+    host: int,
+    k: int,
+    exclude: Container[int] = _EMPTY,
+) -> Optional[tuple[frozenset[int], float]]:
+    """The smallest valid t-connectivity cluster of ``host``, by level scan.
+
+    Walks the distinct edge weights in ascending order and returns the
+    first t-component of ``host`` with at least ``k`` vertices, together
+    with that t.  Returns ``None`` when even the full component (t = max
+    weight) stays below k — the paper's Fig. 5 failure case.
+    """
+    if host not in graph:
+        raise VerificationError(f"unknown host {host}")
+    if host in exclude:
+        raise VerificationError(f"host {host} is excluded")
+    if k <= 1:
+        return frozenset({host}), 0.0
+    previous_size = 1
+    for t in sorted({edge.weight for edge in graph.edges()}):
+        component = _level_component(graph, host, t, exclude=exclude)
+        if len(component) < previous_size:
+            raise VerificationError(
+                f"t-component of {host} shrank as t grew to {t}"
+            )
+        previous_size = len(component)
+        if len(component) >= k:
+            return frozenset(component), t
+    return None
+
+
+def bottleneck_connectivity(
+    graph: WeightedProximityGraph, subset: Iterable[int]
+) -> Optional[float]:
+    """The minimum t at which ``subset`` is mutually t-connected *within itself*.
+
+    Kruskal scan over the induced subgraph's edges in ascending weight
+    order: the answer is the weight of the edge whose addition first puts
+    all of ``subset`` in one component.  ``None`` when the induced
+    subgraph never connects (paths through outside vertices don't count —
+    this is the bottleneck of the subset as a standalone cluster).
+    """
+    members = sorted(set(subset))
+    if not members:
+        raise VerificationError("cannot measure an empty subset")
+    if len(members) == 1:
+        return 0.0
+    keep = set(members)
+    internal = sorted(
+        (edge.weight, edge.u, edge.v)
+        for edge in graph.edges()
+        if edge.u in keep and edge.v in keep
+    )
+    parent = {v: v for v in members}
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    remaining = len(members) - 1
+    for weight, u, v in internal:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            remaining -= 1
+            if remaining == 0:
+                return weight
+    return None
+
+
+def oracle_min_mew_clusters(
+    graph: WeightedProximityGraph, host: int, k: int
+) -> Optional[tuple[float, tuple[frozenset[int], ...]]]:
+    """Brute-force the minimum-MEW k-cluster problem around ``host``.
+
+    Enumerates every subset of the host's connected component that
+    contains the host and has at least ``k`` vertices, measures each
+    subset's bottleneck connectivity, and returns the minimum value with
+    *every* subset achieving it.  Exact by exhaustion; raises
+    :class:`VerificationError` for components larger than
+    :data:`ORACLE_MAX_VERTICES`, returns ``None`` when the component is
+    smaller than k (no valid cluster exists).
+
+    By the minimax-path property this minimum equals the level-scan t of
+    :func:`oracle_smallest_cluster`, and every minimizer is a subset of
+    the level-scan cluster — the cross-checks the oracle test suite runs.
+    """
+    if k < 1:
+        raise VerificationError(f"k must be >= 1, got {k}")
+    component = sorted(_level_component(graph, host, float("inf")))
+    if len(component) > ORACLE_MAX_VERTICES:
+        raise VerificationError(
+            f"component of {host} has {len(component)} vertices; the "
+            f"subset oracle is exact only up to {ORACLE_MAX_VERTICES}"
+        )
+    if len(component) < k:
+        return None
+    others = [v for v in component if v != host]
+    best: Optional[float] = None
+    minimizers: list[frozenset[int]] = []
+    for extra in range(k - 1, len(others) + 1):
+        for chosen in combinations(others, extra):
+            subset = frozenset((host, *chosen))
+            value = bottleneck_connectivity(graph, subset)
+            if value is None:
+                continue
+            if best is None or value < best:
+                best = value
+                minimizers = [subset]
+            elif value == best:
+                minimizers.append(subset)
+    if best is None:
+        return None
+    return best, tuple(minimizers)
+
+
+def oracle_isolation_violations(
+    graph: WeightedProximityGraph,
+    cluster: Iterable[int],
+    k: int,
+) -> list[int]:
+    """Property 4.1 from the definition: vertices whose cluster changes.
+
+    For every vertex outside ``cluster``, compares its smallest valid
+    t-connectivity cluster (level scan) computed on the full graph with
+    the one computed after removing ``cluster``.  Returns the violating
+    vertices ("changes" includes becoming impossible — Fig. 5's vertex g).
+    An empty list means ``cluster`` is isolated.
+    """
+    removed = frozenset(cluster)
+    violations: list[int] = []
+    for vertex in sorted(graph.vertices()):
+        if vertex in removed:
+            continue
+        before = oracle_smallest_cluster(graph, vertex, k)
+        after = oracle_smallest_cluster(graph, vertex, k, exclude=removed)
+        before_set = None if before is None else before[0]
+        after_set = None if after is None else after[0]
+        if before_set != after_set:
+            violations.append(vertex)
+    return violations

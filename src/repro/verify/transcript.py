@@ -1,0 +1,170 @@
+"""Transcript-replay leakage auditing for the secure bounding protocol.
+
+The protocol's entire disclosure is a stream of yes/no answers to bound
+hypotheses.  This module records that stream — either through the
+analytic protocol's ``recorder`` tap or by wrapping the live
+``verify_bound`` handlers on a peer network — and *recomputes* each
+user's agreement interval from the messages alone.  If the implementation
+ever leaked more than it claims (an interval tighter than the recorded
+answers justify, a question missing from a device's ledger), the audit
+catches it without trusting a single internal data structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro.errors import VerificationError
+from repro.network.node import UserDevice
+from repro.network.simulator import PeerNetwork
+
+#: The four directional runs of one bounding box, in protocol order.
+DIRECTIONS = ("x_max", "x_min", "y_max", "y_min")
+
+#: Wire payload ``(axis, sign)`` -> direction label.  The signed domain
+#: convention matches :mod:`repro.bounding.boxing`: ``x_min`` bounds
+#: ``-x`` from above.
+PAYLOAD_DIRECTION: Dict[Tuple[int, float], str] = {
+    (0, 1.0): "x_max",
+    (0, -1.0): "x_min",
+    (1, 1.0): "y_max",
+    (1, -1.0): "y_min",
+}
+
+#: Direction label -> wire payload ``(axis, sign)``.
+DIRECTION_PAYLOAD: Dict[str, Tuple[int, float]] = {
+    d: p for p, d in PAYLOAD_DIRECTION.items()
+}
+
+
+@dataclass(frozen=True, slots=True)
+class VerificationMessage:
+    """One observed yes/no answer: ``user`` said ``agreed`` to ``bound``."""
+
+    user: int
+    direction: str
+    bound: float
+    agreed: bool
+
+
+class TranscriptRecorder:
+    """Accumulates every verification answer a protocol run produces."""
+
+    def __init__(self) -> None:
+        self.messages: list[VerificationMessage] = []
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def record(self, direction: str, user: int, bound: float, agreed: bool) -> None:
+        """Append one observed answer."""
+        if direction not in DIRECTION_PAYLOAD:
+            raise VerificationError(f"unknown direction {direction!r}")
+        self.messages.append(
+            VerificationMessage(user, direction, float(bound), bool(agreed))
+        )
+
+    def box_recorder(self, member_ids: Sequence[int]):
+        """An adapter for :func:`repro.bounding.boxing.secure_bounding_box`.
+
+        The analytic protocol reports *member indexes*; ``member_ids``
+        maps them back to user ids (the engine's sorted member list).
+        """
+        ids = list(member_ids)
+
+        def _record(direction: str, index: int, bound: float, agreed: bool) -> None:
+            self.record(direction, ids[index], bound, agreed)
+
+        return _record
+
+    def tap_network(self, network: PeerNetwork, users: Iterable[int]) -> None:
+        """Wrap each user's live ``verify_bound`` handler with a recorder.
+
+        Uses :meth:`PeerNetwork.handler` to fetch the installed handler
+        and re-registers a recording wrapper around it, so the transcript
+        sees exactly the invocations the device sees — a request lost on
+        the wire never reaches either, and a replay-cache hit bypasses
+        both.  The tap therefore stays bit-for-bit comparable with the
+        device's own disclosure ledger.
+        """
+        for user in users:
+            original = network.handler(user, "verify_bound")
+
+            def wrapped(sender: int, payload: Any, _user=user, _orig=original):
+                answer = _orig(sender, payload)
+                axis, sign, bound = payload
+                direction = PAYLOAD_DIRECTION.get((int(axis), float(sign)))
+                if direction is None:
+                    raise VerificationError(
+                        f"unmappable verify_bound payload: {payload!r}"
+                    )
+                self.record(direction, _user, float(bound), bool(answer))
+                return answer
+
+            network.register(user, "verify_bound", wrapped)
+
+    def question_set(self, user: int) -> frozenset[tuple[int, float, float]]:
+        """The ``(axis, sign, bound)`` hypotheses ``user`` answered.
+
+        Directly comparable with
+        :attr:`repro.network.node.UserDevice.questions_answered`.
+        """
+        questions: set[tuple[int, float, float]] = set()
+        for message in self.messages:
+            if message.user == user:
+                axis, sign = DIRECTION_PAYLOAD[message.direction]
+                questions.add((axis, sign, message.bound))
+        return frozenset(questions)
+
+    def users(self) -> frozenset[int]:
+        """Every user that answered at least one hypothesis."""
+        return frozenset(message.user for message in self.messages)
+
+
+def audit_intervals(
+    messages: Iterable[VerificationMessage],
+) -> dict[tuple[int, str], tuple[float, float]]:
+    """Recompute agreement intervals from the transcript alone.
+
+    For each ``(user, direction)``, the signed coordinate is known to lie
+    in ``(low, high]`` where ``low`` is the largest bound the user said
+    *no* to (``-inf`` if it never disagreed) and ``high`` the smallest
+    bound it said *yes* to (``+inf`` if it never agreed — a member a
+    crashed network left unresolved).  A transcript where some "no" bound
+    meets or exceeds a "yes" bound is self-contradictory (the answers
+    cannot come from any fixed coordinate) and raises
+    :class:`VerificationError`.
+    """
+    lows: dict[tuple[int, str], float] = {}
+    highs: dict[tuple[int, str], float] = {}
+    for message in messages:
+        key = (message.user, message.direction)
+        if message.agreed:
+            current = highs.get(key, float("inf"))
+            if message.bound < current:
+                highs[key] = message.bound
+            lows.setdefault(key, float("-inf"))
+        else:
+            current = lows.get(key, float("-inf"))
+            if message.bound > current:
+                lows[key] = message.bound
+            highs.setdefault(key, float("inf"))
+    intervals: dict[tuple[int, str], tuple[float, float]] = {}
+    for key in lows:
+        low, high = lows[key], highs[key]
+        if low >= high:
+            user, direction = key
+            raise VerificationError(
+                f"user {user} contradicted itself on {direction}: "
+                f"disagreed at {low} but agreed at {high}"
+            )
+        intervals[key] = (low, high)
+    return intervals
+
+
+def ledger_matches_transcript(
+    device: UserDevice, recorder: TranscriptRecorder
+) -> bool:
+    """True when the device's disclosure ledger equals the wire transcript."""
+    return device.questions_answered == recorder.question_set(device.user_id)

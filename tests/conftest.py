@@ -2,7 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import settings
+
+    from repro.verify.worlds import register_profiles
+
+    register_profiles()
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro-ci"))
+except ImportError:  # hypothesis is a dev extra; property suites skip without it
+    pass
 
 from repro.config import SimulationConfig
 from repro.datasets import uniform_points

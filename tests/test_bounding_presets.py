@@ -1,0 +1,140 @@
+"""Paper-parameter presets and the increment-policy classes themselves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounding.distributions import UniformIncrement
+from repro.bounding.costmodel import AreaRequestCost
+from repro.bounding.policies import (
+    ExponentialPolicy,
+    LinearPolicy,
+    SecurePolicy,
+)
+from repro.bounding.presets import (
+    LINEAR_SUBDIVISIONS,
+    PAPER_POLICY_NAMES,
+    axis_extent,
+    effective_area_cost,
+    fine_step,
+    initial_step,
+    paper_policy,
+)
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def config() -> SimulationConfig:
+    return SimulationConfig(user_count=400, delta=0.1, max_peers=6, k=4)
+
+
+class TestPresetArithmetic:
+    def test_axis_extent_is_sqrt_of_expected_area(self, config):
+        # N/|D| = 4/400 = 0.01 of the unit square; per-axis sqrt = 0.1.
+        assert axis_extent(4, config) == pytest.approx(0.1)
+
+    def test_initial_step_is_half_the_extent(self, config):
+        assert initial_step(4, config) == pytest.approx(0.05)
+
+    def test_fine_step_subdivides_the_initial(self, config):
+        assert fine_step(4, config) == pytest.approx(0.05 / LINEAR_SUBDIVISIONS)
+
+    def test_extent_grows_with_cluster_size(self, config):
+        assert axis_extent(16, config) > axis_extent(4, config)
+
+    def test_invalid_cluster_size_raises(self, config):
+        with pytest.raises(ConfigurationError):
+            axis_extent(0, config)
+
+    def test_effective_area_cost_folds_density_in(self, config):
+        cost = effective_area_cost(config)
+        assert isinstance(cost, AreaRequestCost)
+        # R(x) = Cr * |D| * x^2, so R(1) / R(0.5) = 4 regardless of Cr.
+        assert cost.cost(1.0) == pytest.approx(4 * cost.cost(0.5))
+
+
+class TestPaperPolicyFactory:
+    def test_linear_uses_the_fine_step(self, config):
+        policy = paper_policy("linear", 4, config)
+        assert isinstance(policy, LinearPolicy)
+        assert policy.step == pytest.approx(fine_step(4, config))
+
+    def test_exponential_seeds_with_the_fine_step(self, config):
+        policy = paper_policy("exponential", 4, config)
+        assert isinstance(policy, ExponentialPolicy)
+        assert policy.initial == pytest.approx(fine_step(4, config))
+
+    @pytest.mark.parametrize(
+        "name,expected", [("secure", "secure-approx"), ("secure-exact", "secure-exact")]
+    )
+    def test_secure_variants(self, config, name, expected):
+        policy = paper_policy(name, 4, config)
+        assert isinstance(policy, SecurePolicy)
+        assert policy.name == expected
+        assert policy.increment(3, 0.0) > 0.0
+
+    def test_all_paper_names_construct(self, config):
+        for name in PAPER_POLICY_NAMES:
+            assert paper_policy(name, 4, config).increment(2, 0.0) > 0.0
+
+    def test_unknown_name_raises(self, config):
+        with pytest.raises(ConfigurationError):
+            paper_policy("fibonacci", 4, config)
+
+
+class TestPolicyClasses:
+    def test_linear_is_constant(self):
+        policy = LinearPolicy(0.25)
+        assert policy.increment(1, 0.0) == 0.25
+        assert policy.increment(50, 3.0) == 0.25
+        assert policy.name == "linear"
+
+    def test_linear_rejects_nonpositive_step(self):
+        with pytest.raises(ConfigurationError):
+            LinearPolicy(0.0)
+        with pytest.raises(ConfigurationError):
+            LinearPolicy(-1.0)
+
+    def test_exponential_doubles_the_extent(self):
+        policy = ExponentialPolicy(0.1)
+        assert policy.increment(5, 0.0) == 0.1  # first iteration: seed
+        assert policy.increment(5, 0.4) == 0.4  # then bound doubles
+        assert policy.name == "exponential"
+
+    def test_exponential_rejects_nonpositive_initial(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialPolicy(0.0)
+
+    def _secure(self, mode="approx") -> SecurePolicy:
+        return SecurePolicy(
+            UniformIncrement(0.1), AreaRequestCost(400.0), cb=1.0, mode=mode
+        )
+
+    def test_secure_validates_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SecurePolicy(UniformIncrement(0.1), AreaRequestCost(400.0), cb=0.0)
+        with pytest.raises(ConfigurationError):
+            SecurePolicy(
+                UniformIncrement(0.1), AreaRequestCost(400.0), cb=1.0, mode="magic"
+            )
+
+    def test_secure_rejects_zero_disagreeing(self):
+        with pytest.raises(ConfigurationError):
+            self._secure().increment(0, 0.0)
+
+    def test_secure_increment_monotone_in_disagreeing(self):
+        # More disagreeing users push the expected agreement point out, so
+        # the optimal increment never shrinks as n grows (Equation 5).
+        policy = self._secure()
+        steps = [policy.increment(n, 0.0) for n in (1, 3, 10, 30)]
+        assert all(s > 0.0 for s in steps)
+        assert steps == sorted(steps)
+
+    def test_exact_mode_stays_finite_and_positive(self):
+        policy = self._secure(mode="exact")
+        for disagreeing in (1, 3, 10):
+            step = policy.increment(disagreeing, 0.0)
+            assert 0.0 < step < math.inf

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.cloaking.engine import CloakingEngine
 from repro.datasets.base import PointDataset
@@ -89,6 +90,55 @@ class TestBuildEquivalence:
             build_wpg_fast(dataset, -1.0, 5)
         with pytest.raises(ConfigurationError):
             build_wpg_fast(dataset, 0.1, 0)
+
+
+#: A tiny coordinate menu: drawing from few values makes exact duplicates
+#: and shared coordinates (hence zero-distance and tied-weight edges) the
+#: common case rather than a measure-zero event.
+_menu = st.sampled_from([0.1, 0.2, 0.3, 0.5, 0.7])
+_delta = st.sampled_from([0.05, 0.15, 0.45])
+_max_peers = st.integers(1, 6)
+
+
+class TestDegenerateEquivalence:
+    """Hypothesis sweep of the inputs where vectorized code usually breaks."""
+
+    @given(
+        st.lists(st.tuples(_menu, _menu), min_size=1, max_size=25),
+        _delta,
+        _max_peers,
+    )
+    def test_duplicate_heavy_populations(self, pairs, delta, max_peers):
+        dataset = PointDataset([Point(x, y) for x, y in pairs])
+        fast = build_wpg_fast(dataset, delta, max_peers, validate=True)
+        scalar = build_wpg(dataset, delta, max_peers)
+        assert set(fast.vertices()) == set(scalar.vertices())
+        assert _edge_dict(fast) == _edge_dict(scalar)
+
+    @given(st.lists(_menu, min_size=2, max_size=20), _delta, _max_peers)
+    def test_collinear_users(self, xs, delta, max_peers):
+        dataset = PointDataset([Point(x, 0.5) for x in xs])
+        fast = build_wpg_fast(dataset, delta, max_peers, validate=True)
+        scalar = build_wpg(dataset, delta, max_peers)
+        assert _edge_dict(fast) == _edge_dict(scalar)
+
+    @given(st.integers(1, 4), st.integers(0, 50), _delta, _max_peers)
+    def test_tiny_populations(self, n, seed, delta, max_peers):
+        rng = np.random.default_rng(seed)
+        coords = rng.random((n, 2))
+        dataset = PointDataset([Point(float(x), float(y)) for x, y in coords])
+        fast = build_wpg_fast(dataset, delta, max_peers, validate=True)
+        scalar = build_wpg(dataset, delta, max_peers)
+        assert set(fast.vertices()) == set(scalar.vertices()) == set(range(n))
+        assert _edge_dict(fast) == _edge_dict(scalar)
+
+    @given(st.integers(2, 12), _delta, _max_peers)
+    def test_all_users_at_one_point(self, n, delta, max_peers):
+        dataset = PointDataset([Point(0.4, 0.6)] * n)
+        fast = build_wpg_fast(dataset, delta, max_peers, validate=True)
+        scalar = build_wpg(dataset, delta, max_peers)
+        assert _edge_dict(fast) == _edge_dict(scalar)
+        assert set(fast.vertices()) == set(range(n))
 
 
 class TestRequestManyEquivalence:

@@ -1,0 +1,132 @@
+"""PrivacyLoss aggregation — above all, the empty-run sentinel contract.
+
+An empty run (nobody pinned to a finite interval) must report the one
+canonical sentinel ``PrivacyLoss.empty()``: widths at the min-identity
+``inf`` and ``worst_bits`` at the max-identity ``0.0``, so folding it
+into sweeps can neither shrink a minimum nor poison a sum.  Anything
+else claiming ``users_measured == 0`` is rejected at construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounding.policies import LinearPolicy
+from repro.bounding.privacy import (
+    PrivacyFloorPolicy,
+    PrivacyLoss,
+    privacy_loss_intervals,
+    privacy_loss_metric,
+)
+from repro.bounding.protocol import BoundingOutcome, progressive_upper_bound
+from repro.errors import ConfigurationError
+
+
+class TestEmptySentinel:
+    def test_empty_constructor(self):
+        loss = PrivacyLoss.empty()
+        assert loss.users_measured == 0
+        assert math.isinf(loss.min_width) and math.isinf(loss.mean_width)
+        assert loss.worst_bits == 0.0
+        assert loss.is_empty
+
+    def test_min_aggregation_identity(self):
+        # Folding the sentinel into a minimum never shrinks a real value.
+        real = PrivacyLoss(3, 0.05, 0.1, math.log2(1.0 / 0.05))
+        assert min(real.min_width, PrivacyLoss.empty().min_width) == 0.05
+
+    def test_max_aggregation_identity(self):
+        real = PrivacyLoss(3, 0.05, 0.1, math.log2(1.0 / 0.05))
+        assert max(real.worst_bits, PrivacyLoss.empty().worst_bits) == real.worst_bits
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            (0, 1.0, math.inf, 0.0),  # finite min_width
+            (0, math.inf, 1.0, 0.0),  # finite mean_width
+            (0, math.inf, math.inf, 2.0),  # nonzero bits
+            (0, math.inf, math.inf, -math.inf),  # the algebraic -inf
+        ],
+    )
+    def test_nonstandard_empty_instances_rejected(self, args):
+        with pytest.raises(ConfigurationError):
+            PrivacyLoss(*args)
+
+    def test_negative_users_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyLoss(-1, math.inf, math.inf, 0.0)
+
+    def test_nonempty_instances_unconstrained(self):
+        loss = PrivacyLoss(2, 0.1, 0.2, math.log2(10.0))
+        assert not loss.is_empty
+
+
+class TestMetricAggregation:
+    def test_no_outcomes_is_the_sentinel(self):
+        assert privacy_loss_metric([]) == PrivacyLoss.empty()
+
+    def test_everyone_covered_at_start_is_the_sentinel(self):
+        # start above every value: nobody verifies, nobody leaks.
+        outcome = progressive_upper_bound([0.1, 0.2, 0.3], 0.5, LinearPolicy(0.1))
+        assert privacy_loss_intervals(outcome) == []
+        assert privacy_loss_metric([outcome]) == PrivacyLoss.empty()
+
+    def test_real_run_measures_the_exposed_users(self):
+        outcome = progressive_upper_bound(
+            [0.2, 0.45, 0.7], 0.2, LinearPolicy(0.1)
+        )
+        loss = privacy_loss_metric([outcome])
+        assert loss.users_measured == outcome.exposed_users == 2
+        widths = privacy_loss_intervals(outcome)
+        assert loss.min_width == pytest.approx(min(widths))
+        assert loss.mean_width == pytest.approx(sum(widths) / len(widths))
+        assert loss.worst_bits == pytest.approx(math.log2(1.0 / min(widths)))
+
+    def test_aggregates_across_runs(self):
+        a = progressive_upper_bound([0.3, 0.6], 0.3, LinearPolicy(0.2))
+        b = progressive_upper_bound([0.1, 0.9], 0.1, LinearPolicy(0.05))
+        loss = privacy_loss_metric([a, b])
+        assert loss.users_measured == a.exposed_users + b.exposed_users
+        assert loss.min_width == pytest.approx(
+            min(privacy_loss_intervals(a) + privacy_loss_intervals(b))
+        )
+
+    def test_zero_width_interval_is_infinite_bits(self):
+        outcome = BoundingOutcome(
+            bound=0.5,
+            start=0.0,
+            iterations=1,
+            messages=1,
+            agreement_intervals={0: (0.5, 0.5)},
+        )
+        assert privacy_loss_metric([outcome]).worst_bits == math.inf
+
+    def test_domain_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            privacy_loss_metric([], domain=0.0)
+
+
+class TestPrivacyFloorPolicy:
+    def test_floor_lifts_small_increments(self):
+        policy = PrivacyFloorPolicy(LinearPolicy(0.01), floor=0.05)
+        assert policy.increment(3, 0.0) == 0.05
+        assert policy.floor == 0.05
+        assert policy.name == "linear+floor"
+
+    def test_large_increments_pass_through(self):
+        policy = PrivacyFloorPolicy(LinearPolicy(0.2), floor=0.05)
+        assert policy.increment(3, 0.0) == 0.2
+
+    def test_floor_bounds_every_interval_width(self):
+        policy_factory = lambda: PrivacyFloorPolicy(LinearPolicy(0.01), floor=0.05)
+        outcome = progressive_upper_bound(
+            [0.2, 0.31, 0.52, 0.9], 0.2, policy_factory()
+        )
+        for width in privacy_loss_intervals(outcome):
+            assert width >= 0.05 - 1e-12
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyFloorPolicy(LinearPolicy(0.1), floor=0.0)

@@ -1,0 +1,113 @@
+"""Property-based rectangle algebra, cross-checked against point sampling.
+
+The rect combinators (union, intersection, contains, clip) are the
+geometric kernel under every cloaked region; here Hypothesis drives them
+against from-the-definition predicates: membership in an intersection is
+membership in both operands, a union covers both operands and is the
+smallest such cover, and ``from_points`` equals the direct min/max scan.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.verify.oracles import oracle_bounding_box
+
+coordinate = st.floats(-2.0, 2.0, allow_nan=False, width=32)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coordinate), draw(coordinate)))
+    y1, y2 = sorted((draw(coordinate), draw(coordinate)))
+    return Rect(x1, x2, y1, y2)
+
+
+points_strategy = st.lists(
+    st.tuples(coordinate, coordinate), min_size=1, max_size=20
+).map(lambda pairs: [Point(x, y) for x, y in pairs])
+
+
+@given(points_strategy)
+def test_from_points_is_the_minmax_scan(points):
+    box = Rect.from_points(points)
+    assert box == oracle_bounding_box(points)
+    assert all(box.contains(p) for p in points)
+    # Minimality: every face touches some point.
+    assert any(p.x == box.x_min for p in points)
+    assert any(p.x == box.x_max for p in points)
+    assert any(p.y == box.y_min for p in points)
+    assert any(p.y == box.y_max for p in points)
+
+
+@given(rects(), rects())
+def test_union_covers_both_and_is_minimal(a, b):
+    u = a.union(b)
+    assert u.contains_rect(a) and u.contains_rect(b)
+    corners = [
+        Point(a.x_min, a.y_min),
+        Point(a.x_max, a.y_max),
+        Point(b.x_min, b.y_min),
+        Point(b.x_max, b.y_max),
+    ]
+    assert u == Rect.from_points(corners)
+    assert a.union(b) == b.union(a)
+
+
+@given(rects(), rects(), coordinate, coordinate)
+def test_intersection_is_pointwise_and(a, b, x, y):
+    p = Point(x, y)
+    overlap = a.intersection(b)
+    in_both = a.contains(p) and b.contains(p)
+    if overlap is None:
+        assert not a.intersects(b)
+        assert not in_both
+    else:
+        assert a.intersects(b)
+        assert overlap.contains(p) == in_both
+        assert a.contains_rect(overlap) and b.contains_rect(overlap)
+
+
+@given(rects(), rects())
+def test_intersects_is_symmetric_and_matches_intersection(a, b):
+    assert a.intersects(b) == b.intersects(a)
+    assert (a.intersection(b) is not None) == a.intersects(b)
+    if a.intersection(b) is not None:
+        assert a.intersection(b) == b.intersection(a)
+
+
+@given(rects(), rects())
+def test_containment_absorbs(a, b):
+    if a.contains_rect(b):
+        assert a.union(b) == a
+        assert a.intersection(b) == b
+    assert a.contains_rect(a)
+    assert a.union(a) == a and a.intersection(a) == a
+
+
+@given(rects(), st.floats(0.0, 1.0, allow_nan=False))
+def test_expanded_contains_original(rect, margin):
+    grown = rect.expanded(margin)
+    assert grown.contains_rect(rect)
+    assert grown.width == pytest.approx(rect.width + 2 * margin)
+    assert grown.height == pytest.approx(rect.height + 2 * margin)
+
+
+@given(rects(), rects())
+def test_clipped_to_equals_intersection(a, b):
+    if a.intersects(b):
+        assert a.clipped_to(b) == a.intersection(b)
+    else:
+        with pytest.raises(ValueError):
+            a.clipped_to(b)
+
+
+@given(rects(), coordinate, coordinate)
+def test_min_distance_zero_iff_inside(rect, x, y):
+    p = Point(x, y)
+    d = rect.min_distance_to(p)
+    assert d >= 0.0
+    assert (d == 0.0) == rect.contains(p)

@@ -1,0 +1,78 @@
+"""Registry persistence error paths and ordering guarantees.
+
+Complements ``test_persistence.py`` (happy-path roundtrips live there):
+this file pins down the malformed-payload failure modes and the
+registration-order/id-stability contract the cache keying depends on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.clustering.base import ClusterRegistry
+from repro.clustering.registry_io import load_registry, save_registry
+from repro.errors import ClusteringError
+
+
+def _write(tmp_path, payload) -> str:
+    path = tmp_path / "registry.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestMalformedPayloads:
+    def test_top_level_not_a_dict(self, tmp_path):
+        with pytest.raises(ClusteringError):
+            load_registry(_write(tmp_path, [[1, 2, 3]]))
+
+    def test_missing_format_marker(self, tmp_path):
+        with pytest.raises(ClusteringError):
+            load_registry(_write(tmp_path, {"clusters": [[1, 2]]}))
+
+    def test_clusters_not_a_list(self, tmp_path):
+        payload = {"format": "cluster-registry-v1", "clusters": "1,2,3"}
+        with pytest.raises(ClusteringError):
+            load_registry(_write(tmp_path, payload))
+
+    def test_clusters_key_missing(self, tmp_path):
+        payload = {"format": "cluster-registry-v1"}
+        with pytest.raises(ClusteringError):
+            load_registry(_write(tmp_path, payload))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "registry.json"
+        path.write_text("")
+        with pytest.raises(ClusteringError):
+            load_registry(path)
+
+
+class TestOrderingContract:
+    def test_cluster_ids_follow_registration_order(self, tmp_path):
+        registry = ClusterRegistry()
+        groups = [{5, 6, 7}, {1, 2}, {10, 11, 12, 13}]
+        for group in groups:
+            registry.register(group)
+        path = tmp_path / "registry.json"
+        save_registry(registry, path)
+        loaded = load_registry(path)
+        for cid, group in enumerate(groups):
+            assert loaded.cluster_by_id(cid) == frozenset(group)
+
+    def test_double_roundtrip_is_stable(self, tmp_path):
+        registry = ClusterRegistry()
+        registry.register({3, 4, 5})
+        registry.register({8, 9})
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        save_registry(registry, first)
+        save_registry(load_registry(first), second)
+        assert first.read_text() == second.read_text()
+
+    def test_accepts_str_paths(self, tmp_path):
+        registry = ClusterRegistry()
+        registry.register({1, 2})
+        path = str(tmp_path / "registry.json")
+        save_registry(registry, path)
+        assert load_registry(path).cluster_of(1) == frozenset({1, 2})

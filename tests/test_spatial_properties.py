@@ -1,0 +1,107 @@
+"""Property-based cross-check of the spatial indexes against brute force.
+
+Three independent implementations answer the same queries: the cell grid,
+the kd-tree, and a linear scan written here from the definitions.  On any
+random population they must agree exactly — the indexes use the same
+``squared_distance <= r^2`` inclusion rule as the scan, so equality is
+bitwise, not approximate.  Nearest-neighbor queries compare distance
+multisets (id order may legitimately differ under exact ties).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.spatial.grid import GridIndex
+from repro.spatial.kdtree import KDTree
+from repro.spatial.neighbors import NeighborFinder
+
+coordinate = st.floats(0.0, 1.0, allow_nan=False, width=32)
+points_strategy = st.lists(
+    st.tuples(coordinate, coordinate), min_size=1, max_size=40
+).map(lambda pairs: [Point(x, y) for x, y in pairs])
+
+
+def _scan_radius(points, center: Point, radius: float) -> set[int]:
+    r2 = radius * radius
+    return {
+        i for i, p in enumerate(points) if center.squared_distance_to(p) <= r2
+    }
+
+
+def _scan_rect(points, rect: Rect) -> set[int]:
+    return {i for i, p in enumerate(points) if rect.contains(p)}
+
+
+def _scan_nearest(points, center: Point, count: int, max_radius=None):
+    limit = math.inf if max_radius is None else max_radius
+    eligible = sorted(
+        (center.squared_distance_to(p), i)
+        for i, p in enumerate(points)
+        if center.squared_distance_to(p) <= limit * limit
+    )
+    return eligible[:count]
+
+
+@given(points_strategy, coordinate, coordinate, st.floats(0.0, 0.7, allow_nan=False))
+def test_query_radius_three_way(points, cx, cy, radius):
+    center = Point(cx, cy)
+    expected = _scan_radius(points, center, radius)
+    grid = GridIndex(points, cell_size=0.13)
+    tree = KDTree(points)
+    assert set(grid.query_radius(center, radius)) == expected
+    assert set(tree.query_radius(center, radius)) == expected
+
+
+@given(points_strategy, coordinate, coordinate, coordinate, coordinate)
+def test_query_rect_three_way(points, x1, x2, y1, y2):
+    rect = Rect(min(x1, x2), max(x1, x2), min(y1, y2), max(y1, y2))
+    expected = _scan_rect(points, rect)
+    grid = GridIndex(points, cell_size=0.13)
+    tree = KDTree(points)
+    assert set(grid.query_rect(rect)) == expected
+    assert set(tree.query_rect(rect)) == expected
+    assert grid.count_rect(rect) == len(expected)
+
+
+@given(
+    points_strategy,
+    coordinate,
+    coordinate,
+    st.integers(1, 8),
+    st.one_of(st.none(), st.floats(0.05, 0.9, allow_nan=False)),
+)
+def test_nearest_neighbors_three_way(points, cx, cy, count, max_radius):
+    center = Point(cx, cy)
+    expected = _scan_nearest(points, center, count, max_radius)
+    expected_d2 = [d2 for d2, _ in expected]
+    for index in (GridIndex(points, cell_size=0.13), KDTree(points)):
+        got = index.nearest_neighbors(center, count, max_radius=max_radius)
+        got_d2 = [center.squared_distance_to(points[i]) for i in got]
+        assert len(got) == len(expected)
+        assert got_d2 == sorted(got_d2)  # nearest first
+        assert got_d2 == expected_d2  # same distances, ties aside
+
+
+@given(points_strategy, st.floats(0.02, 0.4, allow_nan=False))
+def test_neighbor_finder_backends_agree(points, delta):
+    grid = NeighborFinder(points, kind="grid", cell_size=delta)
+    tree = NeighborFinder(points, kind="kdtree")
+    for user in range(len(points)):
+        expected = _scan_radius(points, points[user], delta) - {user}
+        assert set(grid.peers_in_range(user, delta)) == expected
+        assert set(tree.peers_in_range(user, delta)) == expected
+
+
+@given(points_strategy, st.floats(0.02, 0.4, allow_nan=False))
+def test_batch_peers_matches_scalar(points, delta):
+    finder = NeighborFinder(points, kind="grid", cell_size=delta)
+    indptr, peers = finder.batch_peers_in_range(delta)
+    assert indptr[0] == 0 and indptr[-1] == len(peers)
+    for user in range(len(points)):
+        batch = set(int(p) for p in peers[indptr[user] : indptr[user + 1]])
+        assert batch == set(finder.peers_in_range(user, delta))

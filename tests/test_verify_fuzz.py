@@ -1,0 +1,137 @@
+"""The fuzz CLI end to end, in process: exit codes, repros, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify.fuzz import main
+from repro.verify.invariants import _REGISTRY, invariant, registered_invariants
+from repro.verify.worlds import random_world
+
+
+class TestCleanRuns:
+    def test_small_fuzz_exits_zero(self, tmp_path, capsys):
+        repro_dir = tmp_path / "failures"
+        code = main(
+            ["--worlds", "4", "--seed", "0", "--repro-dir", str(repro_dir)]
+        )
+        assert code == 0
+        assert not repro_dir.exists()  # no failures, no directory
+        out = capsys.readouterr().out
+        assert "4 worlds" in out and "0 failing" in out
+
+    def test_verbose_prints_per_world_lines(self, tmp_path, capsys):
+        code = main(
+            [
+                "--worlds",
+                "2",
+                "--seed",
+                "0",
+                "--verbose",
+                "--repro-dir",
+                str(tmp_path / "failures"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("world seed=") == 2
+
+    def test_invariant_filter(self, tmp_path, capsys):
+        code = main(
+            [
+                "--worlds",
+                "2",
+                "--seed",
+                "3",
+                "--invariant",
+                "k-anonymity",
+                "--invariant",
+                "wpg-fast-scalar-equal",
+                "--repro-dir",
+                str(tmp_path / "failures"),
+            ]
+        )
+        assert code == 0
+
+
+class TestCLIValidation:
+    def test_list_invariants(self, capsys):
+        assert main(["--list-invariants"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert list(registered_invariants()) == out
+
+    def test_unknown_invariant_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--invariant", "no-such-invariant"])
+        assert excinfo.value.code == 2
+
+
+class TestFailurePath:
+    """Inject a failing invariant to drive the repro-dump machinery."""
+
+    def test_failure_dumps_repro_and_exits_nonzero(self, tmp_path, capsys):
+        repro_dir = tmp_path / "failures"
+
+        @invariant("test-synthetic-failure")
+        def _fail(run):
+            return ["synthetic: always fails"]
+
+        try:
+            code = main(
+                [
+                    "--worlds",
+                    "1",
+                    "--seed",
+                    "0",
+                    "--invariant",
+                    "test-synthetic-failure",
+                    "--repro-dir",
+                    str(repro_dir),
+                ]
+            )
+            assert code == 1
+            repro = repro_dir / "world-0.json"
+            assert repro.exists()
+            payload = json.loads(repro.read_text())
+            assert payload["violations"] == [
+                {
+                    "invariant": "test-synthetic-failure",
+                    "detail": "synthetic: always fails",
+                }
+            ]
+            assert "--replay" in payload["replay"]
+            # The dumped world is exactly the seed-0 draw: replayable.
+            from repro.verify.worlds import World
+
+            assert World.from_dict(payload["world"]) == random_world(0)
+
+            # Replaying the repro with the bad invariant still fails...
+            code = main(
+                [
+                    "--replay",
+                    str(repro),
+                    "--invariant",
+                    "test-synthetic-failure",
+                    "--repro-dir",
+                    str(tmp_path / "replay-failures"),
+                ]
+            )
+            assert code == 1
+        finally:
+            del _REGISTRY["test-synthetic-failure"]
+
+        # ...and with the real invariants only, the same world is clean.
+        code = main(
+            [
+                "--replay",
+                str(repro),
+                "--repro-dir",
+                str(tmp_path / "replay-clean"),
+            ]
+        )
+        assert code == 0
+        assert not (tmp_path / "replay-clean").exists()
+        out = capsys.readouterr().out
+        assert "FAIL world seed=0" in out

@@ -1,0 +1,124 @@
+"""Transcript recording and the from-messages-alone leakage auditor."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bounding.boxing import secure_bounding_box
+from repro.bounding.policies import ExponentialPolicy, LinearPolicy
+from repro.bounding.protocol import progressive_upper_bound
+from repro.errors import VerificationError
+from repro.geometry.point import Point
+from repro.verify.oracles import oracle_bounding_box
+from repro.verify.transcript import (
+    DIRECTION_PAYLOAD,
+    DIRECTIONS,
+    PAYLOAD_DIRECTION,
+    TranscriptRecorder,
+    VerificationMessage,
+    audit_intervals,
+)
+
+MEMBERS = [Point(0.42, 0.58), Point(0.30, 0.70), Point(0.55, 0.45), Point(0.48, 0.62)]
+
+
+class TestRecorder:
+    def test_record_and_question_set(self):
+        recorder = TranscriptRecorder()
+        recorder.record("x_max", 7, 0.5, False)
+        recorder.record("x_max", 7, 0.8, True)
+        recorder.record("y_min", 3, -0.2, True)
+        assert len(recorder) == 3
+        assert recorder.users() == frozenset({3, 7})
+        assert recorder.question_set(7) == frozenset({(0, 1.0, 0.5), (0, 1.0, 0.8)})
+        assert recorder.question_set(3) == frozenset({(1, -1.0, -0.2)})
+        assert recorder.question_set(99) == frozenset()
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(VerificationError):
+            TranscriptRecorder().record("x_mid", 0, 0.5, True)
+
+    def test_payload_maps_are_inverse(self):
+        assert set(DIRECTION_PAYLOAD) == set(DIRECTIONS)
+        for payload, direction in PAYLOAD_DIRECTION.items():
+            assert DIRECTION_PAYLOAD[direction] == payload
+
+
+class TestAuditIntervals:
+    def test_no_then_yes_pins_an_interval(self):
+        messages = [
+            VerificationMessage(1, "x_max", 0.3, False),
+            VerificationMessage(1, "x_max", 0.5, True),
+        ]
+        assert audit_intervals(messages) == {(1, "x_max"): (0.3, 0.5)}
+
+    def test_agree_only_user_is_half_open(self):
+        intervals = audit_intervals([VerificationMessage(2, "y_max", 0.4, True)])
+        assert intervals == {(2, "y_max"): (-math.inf, 0.4)}
+
+    def test_never_agreeing_user_is_unresolved(self):
+        intervals = audit_intervals([VerificationMessage(2, "y_max", 0.4, False)])
+        assert intervals == {(2, "y_max"): (0.4, math.inf)}
+
+    def test_tightest_bounds_win(self):
+        messages = [
+            VerificationMessage(1, "x_max", 0.1, False),
+            VerificationMessage(1, "x_max", 0.3, False),
+            VerificationMessage(1, "x_max", 0.9, True),
+            VerificationMessage(1, "x_max", 0.5, True),
+        ]
+        assert audit_intervals(messages) == {(1, "x_max"): (0.3, 0.5)}
+
+    def test_contradiction_raises(self):
+        messages = [
+            VerificationMessage(1, "x_max", 0.5, False),
+            VerificationMessage(1, "x_max", 0.4, True),
+        ]
+        with pytest.raises(VerificationError):
+            audit_intervals(messages)
+
+
+class TestProtocolTap:
+    """The recorder hooks in the analytic protocol report faithfully."""
+
+    def test_scalar_run_transcript_reproduces_intervals(self):
+        values = [0.2, 0.45, 0.7, 0.9]
+        recorder = TranscriptRecorder()
+        outcome = progressive_upper_bound(
+            values,
+            0.2,
+            LinearPolicy(0.1),
+            recorder=lambda i, b, a: recorder.record("x_max", i, b, a),
+        )
+        audited = audit_intervals(recorder.messages)
+        # The auditor recomputes exactly the protocol's own intervals.
+        assert audited == {
+            (i, "x_max"): interval
+            for i, interval in outcome.agreement_intervals.items()
+        }
+        # And every true value lies in its audited interval.
+        for i, value in enumerate(values):
+            low, high = audited[(i, "x_max")]
+            assert low < value <= high
+
+    @pytest.mark.parametrize(
+        "factory", [lambda: LinearPolicy(0.07), lambda: ExponentialPolicy(0.05)]
+    )
+    def test_box_recorder_audit(self, factory):
+        recorder = TranscriptRecorder()
+        member_ids = [10, 20, 30, 40]
+        result = secure_bounding_box(
+            MEMBERS, 0, factory, recorder=recorder.box_recorder(member_ids)
+        )
+        assert recorder.users() == frozenset(member_ids)
+        audited = audit_intervals(recorder.messages)
+        # Every member's true signed coordinate lies in (low, high].
+        for (user, direction), (low, high) in audited.items():
+            axis, sign = DIRECTION_PAYLOAD[direction]
+            value = sign * MEMBERS[member_ids.index(user)].coordinate(axis)
+            assert low < value <= high
+        # The audited "yes" bounds reconstruct a box containing the truth.
+        oracle = oracle_bounding_box(MEMBERS)
+        assert result.region.contains_rect(oracle)
