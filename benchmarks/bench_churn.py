@@ -1,0 +1,291 @@
+"""Dynamic-population churn: incremental maintenance vs rebuild-per-tick.
+
+Regenerates ``BENCH_churn.json``: a sustained interleaved workload
+(random-waypoint move batches + cloaking requests, tick after tick)
+served two ways from identical schedules —
+
+* **incremental** — one long-lived :class:`CloakingEngine` whose grid
+  and WPG are patched in place by ``engine.apply_moves`` (the churn
+  runtime), with the region cache surviving across ticks;
+* **rebuild** — the pre-churn baseline: every tick tears the world down
+  and rebuilds ``GridIndex`` + ``build_wpg_fast`` + a fresh engine from
+  the current positions.
+
+Both paths serve the same host sequence; the final incremental graph is
+cross-checked edge-for-edge against a from-scratch rebuild of the final
+positions.  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_churn.py \
+        --users 50000 --ticks 20 --out BENCH_churn.json
+
+The output schema (``bench_churn/v1``)::
+
+    {
+      "schema": "bench_churn/v1",
+      "users": 50000, "delta": 0.0029, "max_peers": 10, "k": 10,
+      "seed": 3, "ticks": 20, "movers_per_tick": 500,
+      "requests_per_tick": 50,
+      "incremental": {
+        "maintenance_seconds": ..., "moves_per_second": ...,
+        "dirty_users_total": ..., "edges_changed_total": ...,
+        "request_latency_ms": {"p50": ..., "p95": ..., "p99": ...},
+        "requests": {"served": ..., "failed": ..., "cache_hit_rate": ...}
+      },
+      "rebuild": {
+        "maintenance_seconds": ...,
+        "request_latency_ms": {"p50": ..., "p95": ..., "p99": ...},
+        "requests": {"served": ..., "failed": ..., "cache_hit_rate": ...}
+      },
+      "maintenance_speedup": ...,   # rebuild seconds / incremental seconds
+      "graphs_equal": true
+    }
+
+The file is a plain script (no pytest fixtures) so ``pytest benchmarks/``
+collects nothing from it; the CI smoke invokes it at a small population
+and asserts ``maintenance_speedup >= 1`` and ``graphs_equal``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloaking.engine import CloakingEngine
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.datasets.california import california_like_poi
+from repro.errors import ClusteringError
+from repro.experiments.workloads import clusterable_users
+from repro.geometry.point import Point
+from repro.graph.build import build_wpg_fast
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.verify.invariants import graph_equality_details
+
+PAPER_USERS = 104_770
+PAPER_DELTA = 2e-3
+MAX_PEERS = 10
+
+
+def scaled_delta(users: int) -> float:
+    """The paper's radio range, scaled to preserve WPG density."""
+    return PAPER_DELTA * (PAPER_USERS / users) ** 0.5
+
+
+def make_schedule(
+    dataset, ticks: int, movers_per_tick: int, delta: float, seed: int
+) -> list[list[tuple[int, Point]]]:
+    """Pre-generate the per-tick move batches (shared by both paths).
+
+    Random-waypoint walkers with speeds on the radio-range scale, a
+    ``movers_per_tick`` random subset advancing each tick — the rest of
+    the population idles, which is exactly the regime incremental
+    maintenance exploits.
+    """
+    walkers = RandomWaypointModel(
+        dataset, min_speed=delta, max_speed=10 * delta, seed=seed
+    )
+    rng = np.random.default_rng(seed + 1)
+    n = len(dataset)
+    return [
+        walkers.step_subset(
+            np.sort(rng.choice(n, size=movers_per_tick, replace=False))
+        )
+        for _ in range(ticks)
+    ]
+
+
+def make_hosts(
+    graph, k: int, ticks: int, requests_per_tick: int, seed: int
+) -> list[list[int]]:
+    """Per-tick host draws from the t=0 clusterable pool, with repeats."""
+    pool = clusterable_users(graph, k)
+    rng = np.random.default_rng(seed + 2)
+    return [
+        [int(h) for h in rng.choice(pool, size=requests_per_tick, replace=True)]
+        for _ in range(ticks)
+    ]
+
+
+def _serve(engine, hosts: list[int], latencies: list[float]) -> tuple[int, int, int]:
+    """Serve ``hosts`` one by one, timing each; returns (served, failed, hits)."""
+    served = failed = hits = 0
+    for host in hosts:
+        t0 = time.perf_counter()
+        try:
+            result = engine.request(host)
+        except ClusteringError:
+            failed += 1
+        else:
+            served += 1
+            hits += bool(result.region_from_cache)
+        finally:
+            latencies.append(time.perf_counter() - t0)
+    return served, failed, hits
+
+
+def _latency_ms(latencies: list[float]) -> dict:
+    arr = np.asarray(latencies) * 1e3
+    return {
+        "p50": round(float(np.percentile(arr, 50)), 4),
+        "p95": round(float(np.percentile(arr, 95)), 4),
+        "p99": round(float(np.percentile(arr, 99)), 4),
+    }
+
+
+def run_incremental(dataset, graph, config, schedule, hosts) -> tuple[dict, object]:
+    """The churn runtime: one engine, patched in place tick after tick."""
+    engine = CloakingEngine(dataset, graph, config)
+    maintenance = 0.0
+    dirty_total = edges_changed = moves = 0
+    latencies: list[float] = []
+    served = failed = hits = 0
+    for batch, tick_hosts in zip(schedule, hosts):
+        t0 = time.perf_counter()
+        patch = engine.apply_moves(batch)
+        maintenance += time.perf_counter() - t0
+        moves += patch.moved
+        dirty_total += patch.dirty_users
+        edges_changed += patch.edges_changed
+        s, f, h = _serve(engine, tick_hosts, latencies)
+        served, failed, hits = served + s, failed + f, hits + h
+    record = {
+        "maintenance_seconds": round(maintenance, 4),
+        "moves_per_second": round(moves / maintenance, 1),
+        "dirty_users_total": dirty_total,
+        "edges_changed_total": edges_changed,
+        "request_latency_ms": _latency_ms(latencies),
+        "requests": {
+            "served": served,
+            "failed": failed,
+            "cache_hit_rate": round(hits / served, 4) if served else 0.0,
+        },
+    }
+    return record, engine.graph
+
+
+def run_rebuild(dataset, config, schedule, hosts) -> tuple[dict, object]:
+    """The pre-churn baseline: full teardown + rebuild every tick."""
+    positions = list(dataset.points)
+    maintenance = 0.0
+    latencies: list[float] = []
+    served = failed = hits = 0
+    graph = None
+    for batch, tick_hosts in zip(schedule, hosts):
+        for user, point in batch:
+            positions[user] = point
+        t0 = time.perf_counter()
+        snapshot = PointDataset(positions)
+        graph = build_wpg_fast(snapshot, config.delta, config.max_peers)
+        engine = CloakingEngine(snapshot, graph, config)
+        maintenance += time.perf_counter() - t0
+        s, f, h = _serve(engine, tick_hosts, latencies)
+        served, failed, hits = served + s, failed + f, hits + h
+    record = {
+        "maintenance_seconds": round(maintenance, 4),
+        "request_latency_ms": _latency_ms(latencies),
+        "requests": {
+            "served": served,
+            "failed": failed,
+            "cache_hit_rate": round(hits / served, 4) if served else 0.0,
+        },
+    }
+    return record, graph
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=50_000)
+    parser.add_argument(
+        "--ticks", type=int, default=20, help="move/request rounds (default: 20)"
+    )
+    parser.add_argument(
+        "--movers-per-tick",
+        type=int,
+        default=None,
+        help="users moving each tick (default: 1%% of the population)",
+    )
+    parser.add_argument(
+        "--requests-per-tick",
+        type=int,
+        default=50,
+        help="cloaking requests served after each move batch (default: 50)",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument(
+        "--out", default="BENCH_churn.json", help="output path"
+    )
+    args = parser.parse_args(argv)
+    if args.users < 2 or args.ticks < 1 or args.requests_per_tick < 1:
+        parser.error("need --users >= 2, --ticks >= 1, --requests-per-tick >= 1")
+    movers = args.movers_per_tick or max(1, args.users // 100)
+    if not 1 <= movers <= args.users:
+        parser.error(f"--movers-per-tick must be in [1, {args.users}], got {movers}")
+
+    delta = scaled_delta(args.users)
+    config = SimulationConfig(
+        user_count=args.users, delta=delta, max_peers=MAX_PEERS
+    )
+    dataset = california_like_poi(args.users, seed=args.seed)
+    graph = build_wpg_fast(dataset, delta, MAX_PEERS)
+    schedule = make_schedule(dataset, args.ticks, movers, delta, args.seed)
+    hosts = make_hosts(
+        graph, config.k, args.ticks, args.requests_per_tick, args.seed
+    )
+
+    print(
+        f"users={args.users} delta={delta:.2g} ticks={args.ticks} "
+        f"movers/tick={movers} requests/tick={args.requests_per_tick}"
+    )
+    incremental, patched_graph = run_incremental(
+        dataset, graph, config, schedule, hosts
+    )
+    print(
+        f"incremental: {incremental['maintenance_seconds']}s maintenance, "
+        f"p50 {incremental['request_latency_ms']['p50']}ms, "
+        f"p99 {incremental['request_latency_ms']['p99']}ms"
+    )
+    rebuild, final_graph = run_rebuild(
+        california_like_poi(args.users, seed=args.seed), config, schedule, hosts
+    )
+    print(
+        f"rebuild:     {rebuild['maintenance_seconds']}s maintenance, "
+        f"p50 {rebuild['request_latency_ms']['p50']}ms, "
+        f"p99 {rebuild['request_latency_ms']['p99']}ms"
+    )
+
+    graphs_equal = (
+        graph_equality_details(patched_graph, final_graph, "incremental", "rebuild")
+        == []
+    )
+    speedup = round(
+        rebuild["maintenance_seconds"] / incremental["maintenance_seconds"], 2
+    )
+    print(f"maintenance speedup {speedup}x, graphs_equal={graphs_equal}")
+
+    payload = {
+        "schema": "bench_churn/v1",
+        "users": args.users,
+        "delta": delta,
+        "max_peers": MAX_PEERS,
+        "k": config.k,
+        "seed": args.seed,
+        "ticks": args.ticks,
+        "movers_per_tick": movers,
+        "requests_per_tick": args.requests_per_tick,
+        "incremental": incremental,
+        "rebuild": rebuild,
+        "maintenance_speedup": speedup,
+        "graphs_equal": graphs_equal,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if graphs_equal else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,12 +21,13 @@ coordinate, and the bounding protocol reveals only yes/no answers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Literal, Optional, Protocol
+from typing import Callable, Iterable, Literal, Optional, Protocol, Sequence
 
 from repro import obs
 from repro.config import SimulationConfig
-from repro.datasets.base import PointDataset
+from repro.datasets.base import MutablePointDataset, PointDataset
 from repro.errors import ConfigurationError
+from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import names as metric
 from repro.clustering.base import ClusterResult
@@ -36,16 +37,21 @@ from repro.cloaking.region import CloakedRegion
 from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
 from repro.bounding.policies import IncrementPolicy
 from repro.bounding.presets import paper_policy
+from repro.graph.incremental import ChurnPatch, IncrementalWPG
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.failures import FailurePlan
 from repro.network.node import populate_network
 from repro.network.reliability import ReliabilityPolicy, resolve
 from repro.network.simulator import PeerNetwork
+from repro.spatial.grid import GridIndex
 
 Mode = Literal["distributed", "centralized"]
 
 #: Cloaked-region area histogram buckets: powers of 4 up to the unit square.
 _AREA_BUCKETS = tuple(4.0**exp for exp in range(-9, 1))
+
+#: Churn dirty-set-size histogram buckets: powers of 4 up to 64k users.
+_DIRTY_BUCKETS = tuple(4.0**exp for exp in range(0, 9))
 
 #: Builds the per-direction increment policy for a cluster of a given size;
 #: ``None`` selects the OPT baseline (exact bounding box, locations exposed).
@@ -147,6 +153,9 @@ class CloakingEngine:
         self._dataset = dataset
         self._graph = graph
         self._config = config
+        # Churn runtime (grid + incremental WPG maintainer), built lazily
+        # on the first apply_moves call.
+        self._churn: IncrementalWPG | None = None
         self._reliable_session = self._build_reliable_session(
             mode, policy, clustering, resolve(reliability), failure_plan
         )
@@ -231,6 +240,25 @@ class CloakingEngine:
     def clustering(self) -> ClusteringService:
         """The phase-1 clustering service in use."""
         return self._clustering
+
+    @property
+    def graph(self) -> WeightedProximityGraph:
+        """The WPG the engine serves over (patched in place under churn)."""
+        return self._graph
+
+    @property
+    def dataset(self) -> PointDataset:
+        """The user positions (a mutable view once churn has started)."""
+        return self._dataset
+
+    @property
+    def churn_runtime(self) -> Optional[IncrementalWPG]:
+        """The incremental maintainer, once :meth:`apply_moves` has run."""
+        return self._churn
+
+    def cached_regions(self) -> dict[frozenset[int], CloakedRegion]:
+        """A snapshot of the region cache (cluster members -> region)."""
+        return dict(self._regions)
 
     @property
     def regions_cached(self) -> int:
@@ -397,6 +425,79 @@ class CloakingEngine:
             obs.inc(metric.CLOAKING_REGIONS_INVALIDATED, dropped)
             obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, 0)
         return dropped
+
+    def apply_moves(self, moves: Sequence[tuple[int, Point]]) -> ChurnPatch:
+        """Move a batch of users and bring the engine's world up to date.
+
+        The dynamic-population entry point: consumes ``(user id, new
+        position)`` pairs, patches the spatial index and the WPG
+        incrementally (see :class:`~repro.graph.incremental.IncrementalWPG`
+        — after the call the graph is bit-identical to a from-scratch
+        rebuild over the final positions), updates the dataset the
+        bounding protocol plays, and invalidates the cached cloaked
+        region of every cluster with a moved member.  Cluster
+        *assignments* survive a move — reciprocity keeps them permanent —
+        only the cached geometry is dropped, so the next request re-bounds
+        over the new positions.
+
+        The first call builds the churn runtime (grid index + incremental
+        maintainer) from the current positions; an empty batch is a valid
+        warm-up.  Requires the failure-oblivious engine (no reliability
+        policy) and a graph built with a stateless radio model — the
+        default :func:`~repro.graph.build.build_wpg_fast` output
+        qualifies.
+        """
+        with obs.span(metric.SPAN_CHURN_APPLY):
+            return self._apply_moves(list(moves))
+
+    def _apply_moves(self, moves: list[tuple[int, Point]]) -> ChurnPatch:
+        if self._churn is None:
+            self._churn = self._build_churn_runtime()
+        patch = self._churn.apply_moves(moves)
+        for user, point in moves:
+            self._dataset.move(user, point)  # type: ignore[attr-defined]
+        registry = self._clustering.registry
+        invalidated = 0
+        seen: set[frozenset[int]] = set()
+        for user, _ in moves:
+            members = registry.cluster_of(user)
+            if members is None or members in seen:
+                continue
+            seen.add(members)
+            if self.invalidate_region(members):
+                invalidated += 1
+        if obs.enabled():
+            obs.inc(metric.CHURN_BATCHES)
+            obs.inc(metric.CHURN_MOVES, patch.moved)
+            obs.inc(metric.CHURN_DIRTY_USERS, patch.dirty_users)
+            obs.inc(metric.CHURN_EDGES_ADDED, patch.edges_added)
+            obs.inc(metric.CHURN_EDGES_REMOVED, patch.edges_removed)
+            obs.inc(metric.CHURN_EDGES_REWEIGHTED, patch.edges_reweighted)
+            obs.inc(metric.CHURN_REGIONS_INVALIDATED, invalidated)
+            obs.observe(
+                metric.CHURN_DIRTY_PER_BATCH,
+                patch.dirty_users,
+                bounds=_DIRTY_BUCKETS,
+            )
+        return patch
+
+    def _build_churn_runtime(self) -> IncrementalWPG:
+        """First-move setup: mutable dataset, grid, incremental maintainer."""
+        if self._reliable_session is not None:
+            raise ConfigurationError(
+                "apply_moves requires the failure-oblivious engine: the "
+                "message-level reliability session pins devices to their "
+                "initial positions"
+            )
+        if not isinstance(self._dataset, MutablePointDataset):
+            self._dataset = MutablePointDataset.from_dataset(self._dataset)
+        grid = GridIndex(list(self._dataset), cell_size=self._config.delta)
+        return IncrementalWPG(
+            grid,
+            delta=self._config.delta,
+            max_peers=self._config.max_peers,
+            graph=self._graph,
+        )
 
     def _enforce_granularity(self, region: Rect) -> Rect:
         """Grow ``region`` until it satisfies the minimum-area metric.

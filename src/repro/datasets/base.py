@@ -93,3 +93,33 @@ class PointDataset:
             [self._points[i] for i in ids],
             name=name if name is not None else f"{self._name}-subset",
         )
+
+
+class MutablePointDataset(PointDataset):
+    """A :class:`PointDataset` whose points can move — the churn runtime's view.
+
+    Ids stay fixed; only coordinates change.  Everything reading the
+    dataset (bounding, oracles, meters) sees the current positions.  The
+    ``points`` property still returns a tuple, so snapshot consumers keep
+    their immutability guarantee — each call materialises the live state.
+    """
+
+    def __init__(self, points: Sequence[Point], name: str = "dataset") -> None:
+        super().__init__(points, name=name)
+        # Shadow the parent's tuple with a list: every inherited reader
+        # (bounds, as_array, iteration, indexing) sees live positions.
+        self._points = list(self._points)  # type: ignore[assignment]
+
+    @classmethod
+    def from_dataset(cls, dataset: PointDataset) -> "MutablePointDataset":
+        """A mutable copy of ``dataset`` (same ids, same positions)."""
+        return cls(dataset.points, name=dataset.name)
+
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """A snapshot of the current positions as an immutable tuple."""
+        return tuple(self._points)
+
+    def move(self, idx: int, point: Point) -> None:
+        """Update user ``idx``'s position in place."""
+        self._points[idx] = point  # type: ignore[index]

@@ -2,6 +2,7 @@
 
 from repro.graph.wpg import Edge, WeightedProximityGraph
 from repro.graph.build import build_wpg, build_wpg_fast
+from repro.graph.incremental import ChurnPatch, IncrementalWPG
 from repro.graph.unionfind import UnionFind
 from repro.graph.dendrogram import DendrogramNode, single_linkage_dendrogram
 from repro.graph.components import (
@@ -22,8 +23,10 @@ from repro.graph.metrics import (
 )
 
 __all__ = [
+    "ChurnPatch",
     "DendrogramNode",
     "Edge",
+    "IncrementalWPG",
     "UnionFind",
     "WeightedProximityGraph",
     "average_degree",

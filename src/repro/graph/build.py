@@ -151,42 +151,62 @@ def build_wpg_fast(
         # Stage 2: rank every neighborhood (closest first, ties by id).
         ranked = meter.rank_all(indptr, nbrs)
 
-        # Stage 3: keep each user's M nearest; 1-based ranks within the
-        # keep.
-        positions = np.arange(len(ranked), dtype=np.int64) - np.repeat(
-            indptr[:-1], counts
-        )
-        kept = positions < max_peers
-        u = users[kept]
-        v = ranked[kept]
-        ranks = (positions[kept] + 1).astype(float)
-
-        # Mutual-rank reduction: group directed picks by canonical pair
-        # and take the minimum rank — rank alone when only one side
-        # picked.
-        lo = np.minimum(u, v)
-        hi = np.maximum(u, v)
-        keys = lo * np.int64(n) + hi
-        order = np.argsort(keys, kind="stable")
-        keys_sorted = keys[order]
-        ranks_sorted = ranks[order]
-        if len(keys_sorted) == 0:
-            graph = WeightedProximityGraph.from_arrays(n, [], [], [])
-        else:
-            starts = np.flatnonzero(
-                np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
-            )
-            weights = np.minimum.reduceat(ranks_sorted, starts)
-            pair_keys = keys_sorted[starts]
-            graph = WeightedProximityGraph.from_arrays(
-                n, pair_keys // n, pair_keys % n, weights
-            )
+        # Stages 3-4: peer-cap truncation, mutual-rank reduction, bulk
+        # assembly — shared with the incremental maintainer.
+        u, v, ranks = directed_picks(users, indptr, ranked, max_peers)
+        us, vs, weights = mutual_rank_edges(n, u, v, ranks)
+        graph = WeightedProximityGraph.from_arrays(n, us, vs, weights)
     if obs.enabled():
         _record_build(graph)
 
     if validate:
         _check_equal(graph, build_wpg(dataset, delta, max_peers, meter=meter))
     return graph
+
+
+def directed_picks(
+    users: np.ndarray, indptr: np.ndarray, ranked: np.ndarray, max_peers: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Each user's directed peer picks: ``(users, peers, 1-based ranks)``.
+
+    ``ranked`` is the CSR-concatenated closest-first neighborhoods
+    (:meth:`~repro.radio.measurement.ProximityMeter.rank_all` output) and
+    ``users`` the matching per-entry segment owner; only the first
+    ``max_peers`` entries of each segment survive — the device cap M.
+    """
+    counts = np.diff(indptr)
+    positions = np.arange(len(ranked), dtype=np.int64) - np.repeat(
+        indptr[:-1], counts
+    )
+    kept = positions < max_peers
+    return users[kept], ranked[kept], (positions[kept] + 1).astype(float)
+
+
+def mutual_rank_edges(
+    n: int, u: np.ndarray, v: np.ndarray, ranks: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Mutual-rank reduction: directed picks to undirected edge columns.
+
+    Groups the directed picks by canonical pair and takes the minimum
+    rank — the rank alone when only one side picked.  Returns the
+    ``(us, vs, weights)`` columns
+    :meth:`~repro.graph.wpg.WeightedProximityGraph.from_arrays` consumes.
+    """
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keys = lo * np.int64(n) + hi
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    ranks_sorted = ranks[order]
+    if len(keys_sorted) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, np.zeros(0, dtype=float)
+    starts = np.flatnonzero(
+        np.concatenate(([True], keys_sorted[1:] != keys_sorted[:-1]))
+    )
+    weights = np.minimum.reduceat(ranks_sorted, starts)
+    pair_keys = keys_sorted[starts]
+    return pair_keys // n, pair_keys % n, weights
 
 
 def _check_equal(

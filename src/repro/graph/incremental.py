@@ -1,0 +1,296 @@
+"""Incremental WPG maintenance under population churn.
+
+:func:`~repro.graph.build.build_wpg_fast` rebuilds the whole graph from
+scratch; under sustained movement that is the dominant cost of every tick
+even though a single move only disturbs a tiny neighborhood of the graph.
+:class:`IncrementalWPG` exploits the locality: a move can only change the
+directed peer picks of users whose delta-neighborhood intersects the
+mover's old or new position.  Re-ranking exactly that *dirty set* with the
+same vectorized kernels the from-scratch builder uses — and diffing the
+resulting picks against the maintained picks table — patches the graph to
+the state a full rebuild would produce, bit for bit.
+
+The equivalence argument: an edge ``(a, b)`` and its weight are a pure
+function of ``picks[a].get(b)`` and ``picks[b].get(a)`` (the two directed
+1-based ranks).  A user's picks are a pure function of its
+delta-neighborhood and the pairwise distances inside it.  Both can only
+change for users within delta of a mover's old or new position, and the
+dirty-set re-rank recomputes picks with the exact float operations of
+:meth:`~repro.radio.measurement.ProximityMeter.rank_all` — so every pick,
+and therefore every edge weight, matches the from-scratch build exactly.
+
+Stateful radio models (shadowing RNGs, TDOA noise) are rejected: their
+readings depend on the measurement *order*, which an incremental re-rank
+cannot replay.  The paper's ideal RSS model — and any deterministic
+distance-only model — qualifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs import names as metric
+from repro.geometry.point import Point
+from repro.graph.build import directed_picks, mutual_rank_edges
+from repro.graph.wpg import WeightedProximityGraph
+from repro.radio.rss import IdealRSSModel, LogDistanceRSSModel, RSSModel, rss_batch_fallback
+from repro.spatial.grid import GridIndex
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnPatch:
+    """What one :meth:`IncrementalWPG.apply_moves` batch changed.
+
+    ``touched_users`` are the dirty-set ids (sorted ascending): every user
+    whose picks were re-ranked, i.e. the only vertices whose incident
+    edges may differ from before.  Any component/dendrogram cache a caller
+    maintains needs invalidation exactly for components containing these.
+    """
+
+    moved: int
+    dirty_users: int
+    edges_added: int
+    edges_removed: int
+    edges_reweighted: int
+    touched_users: tuple[int, ...]
+
+    @property
+    def edges_changed(self) -> int:
+        """Total edge mutations applied to the graph."""
+        return self.edges_added + self.edges_removed + self.edges_reweighted
+
+
+def _require_stateless(model: RSSModel) -> None:
+    """Reject radio models whose readings consume a noise stream."""
+    if isinstance(model, IdealRSSModel):
+        return
+    if isinstance(model, LogDistanceRSSModel) and model._sigma == 0:
+        return
+    raise ConfigurationError(
+        "incremental WPG maintenance requires a stateless radio model "
+        f"(order-independent readings); got {type(model).__name__}"
+    )
+
+
+class IncrementalWPG:
+    """Maintains a WPG over a mutable :class:`GridIndex` under moves.
+
+    Parameters
+    ----------
+    grid:
+        The live spatial index (``cell_size`` need not equal ``delta``,
+        but that is the efficient regime).  The maintainer moves points
+        through :meth:`GridIndex.move_many` itself — callers must not
+        mutate the grid behind its back.
+    delta:
+        Communication range, as in :func:`~repro.graph.build.build_wpg`.
+    max_peers:
+        Device connection cap M.
+    model:
+        Radio model; defaults to the ideal RSS model.  Must be stateless
+        (see module docstring).
+    graph:
+        An existing graph to adopt and patch in place — the engine's
+        clustering services hold a reference to it, so patching (rather
+        than swapping) keeps them live.  Verified once against the grid
+        population at construction; pass ``None`` to build fresh.
+    """
+
+    def __init__(
+        self,
+        grid: GridIndex,
+        delta: float,
+        max_peers: int,
+        model: RSSModel | None = None,
+        graph: WeightedProximityGraph | None = None,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if max_peers < 1:
+            raise ConfigurationError(f"max_peers must be >= 1, got {max_peers}")
+        self._grid = grid
+        self._delta = delta
+        self._max_peers = max_peers
+        self._model: RSSModel = model if model is not None else IdealRSSModel()
+        _require_stateless(self._model)
+        # Directed picks table: _picks[u] maps peer -> u's 1-based rank of
+        # that peer; None marks a removed (hole) id.
+        self._picks: list[dict[int, int] | None] = [
+            None if grid._points[i] is None else {} for i in range(len(grid))
+        ]
+        u, v, ranks = self._rank_users(np.asarray(grid.live_ids(), dtype=np.int64))
+        for a, b, r in zip(u.tolist(), v.tolist(), ranks.tolist()):
+            self._picks[a][b] = int(r)
+        us, vs, ws = mutual_rank_edges(len(grid), u, v, ranks)
+        if graph is None:
+            self._graph = WeightedProximityGraph.from_arrays(len(grid), us, vs, ws)
+        else:
+            self._verify_adopted(graph, us, vs, ws)
+            self._graph = graph
+
+    @property
+    def graph(self) -> WeightedProximityGraph:
+        """The maintained graph (patched in place by :meth:`apply_moves`)."""
+        return self._graph
+
+    @property
+    def grid(self) -> GridIndex:
+        """The underlying spatial index."""
+        return self._grid
+
+    def _verify_adopted(
+        self,
+        graph: WeightedProximityGraph,
+        us: np.ndarray,
+        vs: np.ndarray,
+        ws: np.ndarray,
+    ) -> None:
+        """One-time O(E) check that an adopted graph matches the grid."""
+        if graph.vertex_count != len(self._grid):
+            raise ConfigurationError(
+                f"adopted graph has {graph.vertex_count} vertices but the "
+                f"grid indexes {len(self._grid)} id slots"
+            )
+        expected = {
+            (min(a, b), max(a, b)): w
+            for a, b, w in zip(us.tolist(), vs.tolist(), ws.tolist())
+        }
+        actual = {e.key(): e.weight for e in graph.edges()}
+        if expected != actual:
+            diff = set(expected.items()) ^ set(actual.items())
+            raise ConfigurationError(
+                f"adopted graph disagrees with the grid population on "
+                f"{len(diff)} edge entries — was it built with the same "
+                "delta/max_peers and a stateless radio model?"
+            )
+
+    def _rank_users(
+        self, users: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Directed picks of ``users`` (sorted ascending live ids).
+
+        Returns ``(u, v, ranks)`` — each user's up-to-M closest peers
+        within delta and their 1-based ranks, computed with the exact
+        float operations of the from-scratch fast build.
+        """
+        coords = self._grid.points_array()
+        if len(users) == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0, dtype=float)
+        indptr, nbrs = self._grid.batch_query_radius(
+            self._delta, centers=coords[users]
+        )
+        owners = np.repeat(users, np.diff(indptr))
+        not_self = nbrs != owners
+        owners, nbrs = owners[not_self], nbrs[not_self]
+        # Each center is a live indexed point, so every segment contained
+        # exactly one self-match.
+        indptr = np.concatenate(([0], np.cumsum(np.diff(indptr) - 1))).astype(
+            np.int64
+        )
+        xs = coords[:, 0]
+        ys = coords[:, 1]
+        dx = xs[owners] - xs[nbrs]
+        dy = ys[owners] - ys[nbrs]
+        distances = np.sqrt(dx * dx + dy * dy)
+        batch = getattr(self._model, "rss_batch", None)
+        if batch is not None:
+            readings = batch(distances)
+        else:
+            readings = rss_batch_fallback(self._model, distances)
+        # The per-user (-reading, id) order of rank_peers, all segments at
+        # once; `owners` ascending keeps segments contiguous and in id
+        # order, matching rank_all's grouping.
+        order = np.lexsort((nbrs, -readings, owners))
+        return directed_picks(owners, indptr, nbrs[order], self._max_peers)
+
+    def apply_moves(self, moves: Sequence[tuple[int, Point]]) -> ChurnPatch:
+        """Move a batch of users and patch the graph to match.
+
+        ``moves`` are ``(user id, new position)`` pairs; each id may
+        appear at most once per batch.  After the call the graph equals
+        ``build_wpg_fast`` over the final positions, bit for bit.
+        """
+        if not moves:
+            return ChurnPatch(0, 0, 0, 0, 0, ())
+        ids = [user for user, _ in moves]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(
+                "apply_moves got duplicate user ids in one batch"
+            )
+        ids_arr = np.asarray(ids, dtype=np.int64)
+        points = [point for _, point in moves]
+
+        # Dirty set: anyone within delta of a mover's old OR new position
+        # (including the movers themselves — distance 0).
+        with obs.span(metric.SPAN_CHURN_GRID):
+            coords = self._grid.points_array()
+            old_centers = coords[ids_arr].copy()
+            _, near_old = self._grid.batch_query_radius(
+                self._delta, centers=old_centers
+            )
+            self._grid.move_many(ids, points)
+            coords = self._grid.points_array()
+            _, near_new = self._grid.batch_query_radius(
+                self._delta, centers=coords[ids_arr]
+            )
+            dirty = np.unique(np.concatenate((ids_arr, near_old, near_new)))
+
+        with obs.span(metric.SPAN_CHURN_WPG):
+            return self._patch(ids, dirty)
+
+    def _patch(self, ids: list[int], dirty: np.ndarray) -> ChurnPatch:
+        """Re-rank the dirty set and diff the picks into the graph."""
+        # Re-rank exactly the dirty users at the final positions.
+        u, v, ranks = self._rank_users(dirty)
+
+        # Candidate edge pairs: every (dirty user, old-or-new pick).  Any
+        # edge not incident to such a pair has both directed ranks
+        # unchanged, hence the same weight.
+        pairs: set[tuple[int, int]] = set()
+        dirty_list = dirty.tolist()
+        for w in dirty_list:
+            for p in self._picks[w]:
+                pairs.add((w, p) if w < p else (p, w))
+            self._picks[w] = {}
+        for a, b, r in zip(u.tolist(), v.tolist(), ranks.tolist()):
+            self._picks[a][b] = int(r)
+            pairs.add((a, b) if a < b else (b, a))
+
+        added = removed = reweighted = 0
+        graph = self._graph
+        for a, b in pairs:
+            ra = self._picks[a].get(b)
+            rb = self._picks[b].get(a)
+            if ra is None and rb is None:
+                desired = None
+            elif ra is None:
+                desired = float(rb)
+            elif rb is None:
+                desired = float(ra)
+            else:
+                desired = float(min(ra, rb))
+            if desired is None:
+                if graph.has_edge(a, b):
+                    graph.remove_edge(a, b)
+                    removed += 1
+            elif not graph.has_edge(a, b):
+                graph.add_edge(a, b, desired)
+                added += 1
+            elif graph.weight(a, b) != desired:
+                graph.remove_edge(a, b)
+                graph.add_edge(a, b, desired)
+                reweighted += 1
+        return ChurnPatch(
+            moved=len(ids),
+            dirty_users=len(dirty_list),
+            edges_added=added,
+            edges_removed=removed,
+            edges_reweighted=reweighted,
+            touched_users=tuple(dirty_list),
+        )

@@ -21,14 +21,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.analysis.reporting import format_series
 from repro.cloaking.engine import CloakingEngine
 from repro.config import SimulationConfig
 from repro.datasets.base import PointDataset
 from repro.errors import ReproError
 from repro.experiments.workloads import sample_hosts
+from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.graph.build import build_wpg
+from repro.graph.build import build_wpg_fast
 from repro.mobility.waypoint import RandomWaypointModel
 
 
@@ -70,8 +73,19 @@ def run_region_lifetime(
     max_speed: float = 0.01,
     seed: int = 37,
 ) -> RegionLifetimeResult:
-    """Cloak at t = 0, then watch the regions go stale as users move."""
-    graph = build_wpg(dataset, config.delta, config.max_peers)
+    """Cloak at t = 0, then watch the regions go stale as users move.
+
+    The engine's world is kept current through
+    :meth:`~repro.cloaking.engine.CloakingEngine.apply_moves`: each tick
+    feeds the walkers that actually moved into the churn runtime, which
+    patches the grid and WPG incrementally (bit-identical to a rebuild)
+    and drops the cached region of every cluster with a moved member.
+    The *reported* series keep their original semantics — a region counts
+    as invalidated only once a member has actually walked out of it, not
+    merely moved inside it — so the numbers are directly comparable with
+    the historical rebuild-per-tick runs.
+    """
+    graph = build_wpg_fast(dataset, config.delta, config.max_peers)
     engine = CloakingEngine(dataset, graph, config, policy="optimal")
     hosts = sample_hosts(graph, config.k, requests, seed=seed)
 
@@ -100,9 +114,16 @@ def run_region_lifetime(
     anonymous: list[float] = [1.0]
     invalidated: list[int] = [0]
     dropped = 0
-    snapshot = dataset
+    stale: set[frozenset[int]] = set()
+    previous = model.snapshot().as_array()
     for _step in range(steps):
         snapshot = model.step(dt)
+        current = snapshot.as_array()
+        moved = np.flatnonzero(np.any(current != previous, axis=1))
+        engine.apply_moves(
+            [(int(i), Point(current[i, 0], current[i, 1])) for i in moved]
+        )
+        previous = current
         inside_total = 0
         member_total = 0
         intact = 0
@@ -114,11 +135,13 @@ def run_region_lifetime(
             if inside == len(members):
                 intact += 1
             else:
-                # A member walked out: the cached region is stale.  Drop
-                # it from the engine so the next request for this cluster
-                # re-runs secure bounding instead of serving the stale box
-                # (invalidate_region is True only on the first drop).
-                if engine.invalidate_region(members):
+                # A member walked out: the region is stale.  The engine
+                # cache already dropped it (apply_moves invalidates on
+                # any member movement); the reported count keeps the
+                # historical first-walk-out semantics.
+                key = frozenset(members)
+                if key not in stale:
+                    stale.add(key)
                     dropped += 1
             if inside >= config.k:
                 still_anonymous += 1

@@ -107,6 +107,59 @@ class RandomWaypointModel:
         self._time += dt
         return self.snapshot()
 
+    def step_subset(
+        self, ids: np.ndarray, dt: float = 1.0
+    ) -> list[tuple[int, "Point"]]:
+        """Advance only the walkers ``ids`` by ``dt``; others stay put.
+
+        The churn-workload primitive: a tick in which a sampled fraction
+        of the population moves while the rest idles.  Returns the
+        ``(id, new position)`` pairs of walkers that actually changed
+        position (paused walkers burn pause time but emit no move) — the
+        exact batch :meth:`~repro.cloaking.engine.CloakingEngine.apply_moves`
+        consumes.  ``ids`` must be distinct.  Advances :attr:`time` by
+        ``dt``.
+        """
+        from repro.geometry.point import Point
+
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        ids = np.asarray(ids, dtype=np.int64)
+        if len(np.unique(ids)) != len(ids):
+            raise ConfigurationError("step_subset ids must be distinct")
+        pos = self._positions
+        deltas = self._targets[ids] - pos[ids]
+        distances = np.sqrt((deltas**2).sum(axis=1))
+        travel = self._speeds[ids] * dt
+
+        paused = self._pauses[ids] > 0
+        rows = ids[paused]
+        self._pauses[rows] = np.maximum(self._pauses[rows] - dt, 0.0)
+
+        moving = ~paused
+        arriving = moving & (travel >= distances)
+        walking = moving & ~arriving
+
+        if walking.any():
+            rows = ids[walking]
+            unit = deltas[walking] / distances[walking, None]
+            pos[rows] += unit * travel[walking, None]
+        if arriving.any():
+            rows = ids[arriving]
+            pos[rows] = self._targets[rows]
+            count = len(rows)
+            self._targets[rows] = self._rng.random((count, 2))
+            self._speeds[rows] = self._rng.uniform(
+                self._min_speed, self._max_speed, count
+            )
+            self._pauses[rows] = self._pause_time
+
+        self._time += dt
+        changed = ids[walking | arriving]
+        return [
+            (int(i), Point(float(pos[i, 0]), float(pos[i, 1]))) for i in changed
+        ]
+
     def snapshot(self) -> PointDataset:
         """The current positions as an immutable dataset."""
         from repro.geometry.point import Point

@@ -31,6 +31,27 @@ SPAN_REQUEST_MANY = "cloaking.request_many"
 SPAN_CLUSTERING = "cloaking.clustering"  # phase 1
 SPAN_BOUNDING = "cloaking.bounding"  # phase 2
 
+# -- churn runtime (dynamic populations) ------------------------------------------
+
+#: apply_moves batches consumed by the engine.
+CHURN_BATCHES = "engine.churn.batches"
+#: Individual user moves applied across all batches.
+CHURN_MOVES = "engine.churn.moves"
+#: Users re-ranked because a mover's old or new position intersected
+#: their delta-neighborhood (the incremental maintainer's dirty set).
+CHURN_DIRTY_USERS = "engine.churn.dirty_users"
+CHURN_EDGES_ADDED = "engine.churn.edges_added"
+CHURN_EDGES_REMOVED = "engine.churn.edges_removed"
+CHURN_EDGES_REWEIGHTED = "engine.churn.edges_reweighted"
+#: Cached cloaked regions dropped because a member moved.
+CHURN_REGIONS_INVALIDATED = "engine.churn.regions_invalidated"
+#: Dirty-set size per batch (histogram): the locality of each patch.
+CHURN_DIRTY_PER_BATCH = "engine.churn.dirty_per_batch"
+
+SPAN_CHURN_APPLY = "engine.churn.apply_moves"
+SPAN_CHURN_GRID = "engine.churn.grid_patch"  # grid move + dirty-set discovery
+SPAN_CHURN_WPG = "engine.churn.wpg_patch"  # re-rank + edge diff
+
 # -- clustering (phase 1 internals) ----------------------------------------------
 
 CLUSTERING_REQUESTS = "clustering.requests"

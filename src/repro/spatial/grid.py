@@ -9,6 +9,7 @@ cell size close to delta answers both in expected O(result size).
 from __future__ import annotations
 
 import math
+from bisect import insort
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -31,6 +32,13 @@ class GridIndex:
     bounds:
         The indexed area; defaults to the unit square.  Points outside the
         bounds are clamped into the boundary cells, so indexing never fails.
+
+    The index is mutable: :meth:`insert`, :meth:`remove` and :meth:`move`
+    update a live population in place, patching the cell buckets and the
+    cached batch arrays incrementally instead of rebuilding — the churn
+    runtime's foundation.  Ids are stable: a removed id leaves a *hole*
+    (never reused, never returned by queries) so every other user keeps
+    its id.
     """
 
     def __init__(
@@ -41,7 +49,8 @@ class GridIndex:
     ) -> None:
         if cell_size <= 0:
             raise ConfigurationError(f"cell_size must be positive, got {cell_size}")
-        self._points = list(points)
+        self._points: list[Point | None] = list(points)
+        self._live = len(self._points)
         self._bounds = bounds if bounds is not None else Rect.unit_square()
         self._cell_size = cell_size
         self._nx = max(1, math.ceil(self._bounds.width / cell_size))
@@ -50,13 +59,25 @@ class GridIndex:
         # queries walk a dict of cell -> point ids, the batch queries flat
         # CSR arrays.  Either workload pays only for what it touches.
         self._cells_dict: dict[tuple[int, int], list[int]] | None = None
-        self._bulk: (
-            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-            | None
+        # Batch-query state: per-slot coordinates and row-major cell ids
+        # (capacity-doubled on insert, -1 marks a hole), plus the grouped
+        # bucket arrays.  Mutations patch the buffers in O(1) and only
+        # drop ``_buckets`` (regrouped lazily, pure numpy) when a point
+        # actually changes cell.
+        self._coords_buf: np.ndarray | None = None
+        self._cell_ids_buf: np.ndarray | None = None
+        self._buckets: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
         ) = None
 
     def __len__(self) -> int:
+        """Number of id slots (holes included); see :attr:`live_count`."""
         return len(self._points)
+
+    @property
+    def live_count(self) -> int:
+        """Number of live (non-removed) points."""
+        return self._live
 
     @property
     def cell_size(self) -> float:
@@ -69,8 +90,15 @@ class GridIndex:
         return (self._nx, self._ny)
 
     def point(self, idx: int) -> Point:
-        """The point stored under id ``idx``."""
-        return self._points[idx]
+        """The point stored under id ``idx``; removed ids raise."""
+        point = self._points[idx]
+        if point is None:
+            raise ConfigurationError(f"point {idx} was removed from the index")
+        return point
+
+    def live_ids(self) -> list[int]:
+        """All live point ids, ascending."""
+        return [i for i, p in enumerate(self._points) if p is not None]
 
     def _cell_of(self, point: Point) -> tuple[int, int]:
         cx = int((point.x - self._bounds.x_min) / self._cell_size)
@@ -82,9 +110,107 @@ class GridIndex:
         if self._cells_dict is None:
             cells: dict[tuple[int, int], list[int]] = {}
             for idx, point in enumerate(self._points):
-                cells.setdefault(self._cell_of(point), []).append(idx)
+                if point is not None:
+                    cells.setdefault(self._cell_of(point), []).append(idx)
             self._cells_dict = cells
         return self._cells_dict
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, point: Point) -> int:
+        """Index a new point; returns its freshly assigned id."""
+        idx = len(self._points)
+        self._points.append(point)
+        self._live += 1
+        cell = self._cell_of(point)
+        if self._cells_dict is not None:
+            self._cells_dict.setdefault(cell, []).append(idx)
+        if self._coords_buf is not None:
+            self._ensure_capacity(idx + 1)
+            self._coords_buf[idx, 0] = point.x
+            self._coords_buf[idx, 1] = point.y
+            self._cell_ids_buf[idx] = cell[0] * self._ny + cell[1]
+            self._buckets = None
+        return idx
+
+    def remove(self, idx: int) -> None:
+        """Remove point ``idx``; its id becomes a hole and is never reused."""
+        point = self._points[idx]
+        if point is None:
+            raise ConfigurationError(f"point {idx} was already removed")
+        self._points[idx] = None
+        self._live -= 1
+        if self._cells_dict is not None:
+            cell = self._cell_of(point)
+            bucket = self._cells_dict[cell]
+            bucket.remove(idx)
+            if not bucket:
+                del self._cells_dict[cell]
+        if self._coords_buf is not None:
+            self._coords_buf[idx] = np.nan
+            self._cell_ids_buf[idx] = -1
+            self._buckets = None
+
+    def move(self, idx: int, point: Point) -> None:
+        """Update point ``idx`` to a new position, keeping its id.
+
+        Moves within the same grid cell patch the cached batch arrays in
+        place; only a cell change schedules a (lazy, vectorized) bucket
+        regroup.
+        """
+        old = self._points[idx]
+        if old is None:
+            raise ConfigurationError(f"cannot move removed point {idx}")
+        self._points[idx] = point
+        old_cell = self._cell_of(old)
+        new_cell = self._cell_of(point)
+        if self._cells_dict is not None and new_cell != old_cell:
+            bucket = self._cells_dict[old_cell]
+            bucket.remove(idx)
+            if not bucket:
+                del self._cells_dict[old_cell]
+            insort(self._cells_dict.setdefault(new_cell, []), idx)
+        if self._coords_buf is None:
+            return
+        self._coords_buf[idx, 0] = point.x
+        self._coords_buf[idx, 1] = point.y
+        new_cell_id = new_cell[0] * self._ny + new_cell[1]
+        if int(self._cell_ids_buf[idx]) != new_cell_id:
+            self._cell_ids_buf[idx] = new_cell_id
+            self._buckets = None
+        elif self._buckets is not None:
+            # Same cell: the bucket layout is untouched, only the point's
+            # gathered coordinates move.  Its position inside the (id-
+            # ascending) bucket segment is found by bisection.
+            _counts, indptr, bucket_points, bucket_coords = self._buckets
+            lo, hi = int(indptr[new_cell_id]), int(indptr[new_cell_id + 1])
+            pos = lo + int(np.searchsorted(bucket_points[lo:hi], idx))
+            bucket_coords[0, pos] = point.x
+            bucket_coords[1, pos] = point.y
+
+    def move_many(
+        self, ids: Sequence[int], points: Sequence[Point]
+    ) -> None:
+        """Apply a batch of :meth:`move` updates (same order, same effect)."""
+        if len(ids) != len(points):
+            raise ConfigurationError(
+                f"move_many got {len(ids)} ids but {len(points)} points"
+            )
+        for idx, point in zip(ids, points):
+            self.move(idx, point)
+
+    def _ensure_capacity(self, slots: int) -> None:
+        """Grow the coordinate/cell-id buffers to hold ``slots`` slots."""
+        capacity = len(self._cell_ids_buf)
+        if capacity >= slots:
+            return
+        new_capacity = max(slots, 2 * capacity)
+        coords = np.full((new_capacity, 2), np.nan, dtype=float)
+        coords[:capacity] = self._coords_buf
+        cell_ids = np.full(new_capacity, -1, dtype=np.int64)
+        cell_ids[:capacity] = self._cell_ids_buf
+        self._coords_buf = coords
+        self._cell_ids_buf = cell_ids
 
     def _cells_overlapping(self, rect: Rect) -> Iterable[tuple[int, int]]:
         lo_x, lo_y = self._cell_of(Point(rect.x_min, rect.y_min))
@@ -157,7 +283,7 @@ class GridIndex:
             # Everything indexed is already gathered: the remaining rings
             # are provably empty (sparse populations would otherwise force
             # a full-grid walk when `count` exceeds the population).
-            if len(best) == len(self._points):
+            if len(best) == self._live:
                 break
             # Gather the cells forming this ring around the center cell.
             for cx, cy in self._ring_cells(ccx, ccy, ring):
@@ -184,35 +310,58 @@ class GridIndex:
         """Flat array views of the index, built once on first batch query.
 
         Returns ``(coords, bucket_counts, bucket_indptr, bucket_points,
-        bucket_coords)``: point coordinates as an ``(n, 2)`` array, the
-        per-cell point count and CSR layout over row-major cell ids
-        ``cx * ny + cy`` with each cell's points in insertion (ascending
-        id) order — the same order the scalar queries scan them in — and
-        the coordinates permuted into that bucket order (``(2, n)``,
-        per-axis contiguous) so candidate gathers stream sequentially
-        instead of hopping the heap.
+        bucket_coords)``: point coordinates as an ``(n, 2)`` array (hole
+        slots hold NaN), the per-cell point count and CSR layout over
+        row-major cell ids ``cx * ny + cy`` with each cell's points in
+        ascending id order — the same order the scalar queries scan them
+        in — and the coordinates permuted into that bucket order
+        (``(2, live)``, per-axis contiguous) so candidate gathers stream
+        sequentially instead of hopping the heap.
+
+        Mutations keep the coordinate/cell-id buffers patched in place;
+        only a cell-membership change forces the (pure numpy) regroup
+        below, so sustained same-cell movement never regroups at all.
         """
-        if self._bulk is None:
-            n = len(self._points)
-            coords = np.array(
-                [(p.x, p.y) for p in self._points], dtype=float
-            ).reshape(n, 2)
-            cx, cy = self._cell_coords(coords[:, 0], coords[:, 1])
-            cell_ids = cx * self._ny + cy
-            bucket_counts = np.bincount(cell_ids, minlength=self._nx * self._ny)
+        n = len(self._points)
+        if self._coords_buf is None:
+            if self._live == n:
+                coords = np.array(
+                    [(p.x, p.y) for p in self._points], dtype=float
+                ).reshape(n, 2)
+                cx, cy = self._cell_coords(coords[:, 0], coords[:, 1])
+                cell_ids = cx * self._ny + cy
+            else:
+                coords = np.full((n, 2), np.nan, dtype=float)
+                cell_ids = np.full(n, -1, dtype=np.int64)
+                live = self.live_ids()
+                coords[live] = [
+                    (self._points[i].x, self._points[i].y) for i in live
+                ]
+                cx, cy = self._cell_coords(coords[live, 0], coords[live, 1])
+                cell_ids[live] = cx * self._ny + cy
+            self._coords_buf = coords
+            self._cell_ids_buf = cell_ids
+            self._buckets = None
+        coords = self._coords_buf[:n]
+        if self._buckets is None:
+            cell_ids = self._cell_ids_buf[:n]
+            if self._live == n:
+                order = np.argsort(cell_ids, kind="stable").astype(np.int64)
+                counted = cell_ids
+            else:
+                live = np.flatnonzero(cell_ids >= 0)
+                counted = cell_ids[live]
+                order = live[np.argsort(counted, kind="stable")].astype(
+                    np.int64
+                )
+            bucket_counts = np.bincount(counted, minlength=self._nx * self._ny)
             bucket_indptr = np.concatenate(
                 ([0], np.cumsum(bucket_counts))
             ).astype(np.int64)
-            bucket_points = np.argsort(cell_ids, kind="stable").astype(np.int64)
-            bucket_coords = np.ascontiguousarray(coords[bucket_points].T)
-            self._bulk = (
-                coords,
-                bucket_counts,
-                bucket_indptr,
-                bucket_points,
-                bucket_coords,
-            )
-        return self._bulk
+            bucket_coords = np.ascontiguousarray(coords[order].T)
+            self._buckets = (bucket_counts, bucket_indptr, order, bucket_coords)
+        bucket_counts, bucket_indptr, bucket_points, bucket_coords = self._buckets
+        return (coords, bucket_counts, bucket_indptr, bucket_points, bucket_coords)
 
     def _cell_coords(
         self, xs: np.ndarray, ys: np.ndarray
@@ -225,7 +374,12 @@ class GridIndex:
         return cx, cy
 
     def points_array(self) -> np.ndarray:
-        """The indexed coordinates as an ``(n, 2)`` float array (shared)."""
+        """The indexed coordinates as an ``(n, 2)`` float array (shared).
+
+        Row ``i`` tracks point ``i`` across :meth:`move` updates (in
+        place); removed slots hold NaN.  :meth:`insert` may reallocate
+        the buffer, so re-fetch after inserting.
+        """
         return self._bulk_arrays()[0]
 
     def cell_bucket_arrays(self) -> tuple[np.ndarray, np.ndarray]:
@@ -256,6 +410,11 @@ class GridIndex:
         """
         if radius < 0:
             raise ConfigurationError(f"radius must be non-negative, got {radius}")
+        if centers is None and self._live < len(self._points):
+            raise ConfigurationError(
+                "the index has removed slots; pass explicit centers to "
+                "batch_query_radius"
+            )
         (
             coords,
             bucket_counts,

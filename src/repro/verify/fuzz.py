@@ -35,6 +35,7 @@ from repro.network.reliability import ProtocolAbort, ReliabilityPolicy
 from repro.network.simulator import PeerNetwork
 from repro.obs import names as metric
 from repro.verify.invariants import (
+    ChurnObservation,
     P2PObservation,
     RequestRecord,
     Violation,
@@ -43,11 +44,28 @@ from repro.verify.invariants import (
     registered_invariants,
 )
 from repro.verify.transcript import TranscriptRecorder
-from repro.verify.worlds import BuiltWorld, World, build_world, random_world
+from repro.verify.worlds import (
+    BuiltWorld,
+    World,
+    build_world,
+    churn_schedule,
+    random_world,
+)
 
 
 def _make_engine(built: BuiltWorld) -> CloakingEngine:
     world = built.world
+    if world.churn_moves:
+        # The churn runtime patches the engine's graph in place; each
+        # serving pass gets its own copy so built.graph stays the
+        # pristine t=0 graph the differential invariants compare against.
+        return CloakingEngine(
+            built.dataset,
+            built.graph.copy(),
+            built.config,
+            mode=world.mode,
+            policy=world.policy,
+        )
     if world.faulty:
         return CloakingEngine(
             built.dataset,
@@ -65,13 +83,14 @@ def _make_engine(built: BuiltWorld) -> CloakingEngine:
     )
 
 
-def _serve(built: BuiltWorld) -> tuple[CloakingEngine, List[RequestRecord]]:
-    """One full pass over the world's request sequence."""
-    engine = _make_engine(built)
+def _request_loop(
+    engine: CloakingEngine, hosts: Sequence[int]
+) -> List[RequestRecord]:
+    """Serve ``hosts`` in order, recording results and typed failures."""
     registry = engine.clustering.registry
     records: List[RequestRecord] = []
     recording = obs.enabled()
-    for host in built.hosts:
+    for host in hosts:
         record = RequestRecord(
             host=host, assigned_before=frozenset(registry.assigned_view())
         )
@@ -91,7 +110,34 @@ def _serve(built: BuiltWorld) -> tuple[CloakingEngine, List[RequestRecord]]:
         if record.error is not None and recording:
             obs.inc(metric.VERIFY_CLEAN_FAILURES)
         records.append(record)
-    return engine, records
+    return records
+
+
+def _serve(
+    built: BuiltWorld,
+) -> tuple[CloakingEngine, List[RequestRecord], Optional[ChurnObservation]]:
+    """One full pass over the world's request sequence (plus churn).
+
+    Churn worlds continue after the first pass: the seeded movement
+    schedule streams through ``engine.apply_moves`` and the same hosts
+    are served again from the incrementally-patched world — the
+    ``churn-incremental-equal`` invariant then compares that world
+    against a from-scratch rebuild.
+    """
+    engine = _make_engine(built)
+    records = _request_loop(engine, built.hosts)
+    churn: Optional[ChurnObservation] = None
+    if built.world.churn_moves:
+        moves_applied = 0
+        for batch in churn_schedule(built.world):
+            engine.apply_moves(batch)
+            moves_applied += len(batch)
+        churn = ChurnObservation(
+            final_points=engine.dataset.points,
+            moves_applied=moves_applied,
+            post_records=_request_loop(engine, built.hosts),
+        )
+    return engine, records, churn
 
 
 def _serve_p2p(built: BuiltWorld) -> P2PObservation:
@@ -146,8 +192,8 @@ def run_world(world: World) -> WorldRun:
     """Build and serve one world, twice (determinism), plus p2p replay."""
     built = build_world(world)
     with obs.span(metric.SPAN_VERIFY_WORLD):
-        engine, records = _serve(built)
-        _replay_engine, replay_records = _serve(built)
+        engine, records, churn = _serve(built)
+        _replay_engine, replay_records, _replay_churn = _serve(built)
         p2p = None
         if world.p2p:
             if obs.enabled():
@@ -161,6 +207,7 @@ def run_world(world: World) -> WorldRun:
         records=records,
         replay_records=replay_records,
         p2p=p2p,
+        churn=churn,
     )
 
 
@@ -213,6 +260,7 @@ def fuzz(
                 f"{len(run.records)}"
                 + (" [p2p]" if world.p2p else "")
                 + (" [faults]" if world.faulty else "")
+                + (f" [churn={world.churn_moves}]" if world.churn_moves else "")
             )
         if violations:
             failures += 1

@@ -25,8 +25,12 @@ from repro.clustering.isolation import (
 )
 from repro.cloaking.engine import CloakingEngine, CloakingResult
 from repro.cloaking.p2p_engine import P2PCloakingResult
+from repro.datasets.base import PointDataset
 from repro.errors import VerificationError
+from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.graph.build import build_wpg_fast
+from repro.graph.wpg import WeightedProximityGraph
 from repro.network.node import UserDevice
 from repro.obs import names as metric
 from repro.verify.oracles import (
@@ -81,6 +85,20 @@ class P2PObservation:
 
 
 @dataclass(slots=True)
+class ChurnObservation:
+    """What a churn world's movement phase produced.
+
+    ``final_points`` are the population's positions after the full
+    schedule ran; ``post_records`` the second serving pass over the same
+    hosts, served from the incrementally-patched world.
+    """
+
+    final_points: tuple[Point, ...]
+    moves_applied: int
+    post_records: List[RequestRecord] = field(default_factory=list)
+
+
+@dataclass(slots=True)
 class WorldRun:
     """Everything one fuzzed world produced, ready for invariant checks."""
 
@@ -89,6 +107,7 @@ class WorldRun:
     records: List[RequestRecord] = field(default_factory=list)
     replay_records: Optional[List[RequestRecord]] = None
     p2p: Optional[P2PObservation] = None
+    churn: Optional[ChurnObservation] = None
 
 
 Invariant = Callable[[WorldRun], List[str]]
@@ -141,23 +160,39 @@ def _successes(run: WorldRun) -> List[CloakingResult]:
 # -- WPG construction ---------------------------------------------------------------
 
 
+def graph_equality_details(
+    a: WeightedProximityGraph,
+    b: WeightedProximityGraph,
+    label_a: str = "left",
+    label_b: str = "right",
+) -> List[str]:
+    """Human-readable differences between two WPGs (empty when equal).
+
+    The shared equality oracle of the differential invariants and the
+    churn property suites: vertex sets and the full edge->weight maps
+    must match exactly — weights are compared as floats, bit for bit.
+    """
+    details: List[str] = []
+    if set(a.vertices()) != set(b.vertices()):
+        details.append(f"{label_a}/{label_b} WPG vertex sets differ")
+        return details
+    a_edges = {e.key(): e.weight for e in a.edges()}
+    b_edges = {e.key(): e.weight for e in b.edges()}
+    if a_edges != b_edges:
+        diff = set(a_edges.items()) ^ set(b_edges.items())
+        details.append(
+            f"{label_a}/{label_b} WPG edge maps differ on {len(diff)} "
+            f"entries (e.g. {sorted(diff)[:3]})"
+        )
+    return details
+
+
 @invariant("wpg-fast-scalar-equal")
 def _wpg_differential(run: WorldRun) -> List[str]:
     """The vectorized and scalar WPG builders must agree exactly."""
-    fast, scalar = run.built.graph, run.built.scalar_graph
-    details: List[str] = []
-    if set(fast.vertices()) != set(scalar.vertices()):
-        details.append("fast/scalar WPG vertex sets differ")
-        return details
-    fast_edges = {e.key(): e.weight for e in fast.edges()}
-    scalar_edges = {e.key(): e.weight for e in scalar.edges()}
-    if fast_edges != scalar_edges:
-        diff = set(fast_edges.items()) ^ set(scalar_edges.items())
-        details.append(
-            f"fast/scalar WPG edge maps differ on {len(diff)} entries "
-            f"(e.g. {sorted(diff)[:3]})"
-        )
-    return details
+    return graph_equality_details(
+        run.built.graph, run.built.scalar_graph, "fast", "scalar"
+    )
 
 
 # -- anonymity and containment ------------------------------------------------------
@@ -495,5 +530,80 @@ def _transcript_audit(run: WorldRun) -> List[str]:
                 f"user {user}: ledger/transcript mismatch "
                 f"(ledger-only {sorted(missing)[:3]}, "
                 f"transcript-only {sorted(extra)[:3]})"
+            )
+    return details
+
+
+# -- dynamic populations ------------------------------------------------------------
+
+
+@invariant("churn-incremental-equal")
+def _churn_incremental_equal(run: WorldRun) -> List[str]:
+    """The incrementally-patched world equals a from-scratch rebuild.
+
+    After the churn schedule ran: (a) the engine's live WPG must be
+    bit-identical to ``build_wpg_fast`` over the final positions — so
+    every post-churn cloak equals what a rebuild-per-tick engine with the
+    same request history would serve; (b) the engine's dataset must hold
+    exactly the final positions; (c) every post-churn result satisfies
+    containment, k-anonymity and the oracle-box relation at those
+    positions; (d) no cached region is stale — each one still contains
+    all its members.
+    """
+    if run.churn is None or run.engine is None:
+        return []
+    final = PointDataset(list(run.churn.final_points), name="post-churn")
+    world = run.built.world
+    details: List[str] = []
+
+    rebuilt = build_wpg_fast(final, world.delta, world.max_peers)
+    details.extend(
+        graph_equality_details(
+            run.engine.graph, rebuilt, "incremental", "rebuild"
+        )
+    )
+    for user, point in enumerate(run.churn.final_points):
+        if run.engine.dataset[user] != point:
+            details.append(
+                f"user {user}: engine dataset {run.engine.dataset[user]} "
+                f"!= final position {point}"
+            )
+            break
+
+    k = run.built.config.k
+    optimal = world.policy == "optimal"
+    for record in run.churn.post_records:
+        result = record.result
+        if result is None:
+            continue
+        members = sorted(result.cluster.members)
+        if result.cluster.size < k:
+            details.append(
+                f"post-churn host {result.host}: cluster of "
+                f"{result.cluster.size} < k={k}"
+            )
+        outside = [m for m in members if not result.region.rect.contains(final[m])]
+        if outside:
+            details.append(
+                f"post-churn host {result.host}: members {outside[:4]} "
+                f"outside cloak {result.region.rect}"
+            )
+        oracle = oracle_bounding_box([final[m] for m in members])
+        if optimal and result.region.rect != oracle:
+            details.append(
+                f"post-churn host {result.host}: optimal cloak "
+                f"{result.region.rect} != oracle box {oracle}"
+            )
+        elif not optimal and not result.region.rect.contains_rect(oracle):
+            details.append(
+                f"post-churn host {result.host}: cloak {result.region.rect} "
+                f"does not contain oracle box {oracle}"
+            )
+    for members, region in run.engine.cached_regions().items():
+        stale = [m for m in sorted(members) if not region.rect.contains(final[m])]
+        if stale:
+            details.append(
+                f"stale cached region for cluster {sorted(members)[:6]}: "
+                f"members {stale[:4]} moved out without invalidation"
             )
     return details

@@ -59,6 +59,10 @@ class World:
     drop_probability: float = 0.0
     crashed: tuple[int, ...] = field(default_factory=tuple)
     p2p: bool = False
+    #: Total user moves in the seeded churn schedule applied after the
+    #: first serving pass (0 = static world, the historical default —
+    #: old world JSON replays unchanged).
+    churn_moves: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in DATASET_KINDS:
@@ -82,6 +86,18 @@ class World:
                 "p2p/fault worlds need the distributed mode and a "
                 f"progressive policy, got mode={self.mode!r} "
                 f"policy={self.policy!r}"
+            )
+        if self.churn_moves < 0:
+            raise VerificationError(
+                f"churn_moves must be non-negative, got {self.churn_moves}"
+            )
+        if self.churn_moves > 0 and (
+            self.faulty or self.p2p or self.radio != "ideal"
+        ):
+            raise VerificationError(
+                "churn worlds require the ideal radio model and no "
+                "faults/p2p replay: incremental WPG maintenance cannot "
+                "replay stateful noise streams or pinned device positions"
             )
 
     @property
@@ -171,6 +187,7 @@ def random_world(seed: int) -> World:
     drop_probability = 0.0
     crashed: tuple[int, ...] = ()
     p2p = False
+    churn_moves = 0
     if flavor < 0.15:
         p2p = True
     elif flavor < 0.30:
@@ -179,6 +196,11 @@ def random_world(seed: int) -> World:
             crashed = tuple(
                 int(v) for v in rng.choice(n, size=min(2, n - k), replace=False)
             )
+    elif flavor < 0.45 and radio == "ideal":
+        # Dynamic-population worlds: a seeded churn schedule runs between
+        # two serving passes and the churn invariant compares the
+        # incrementally-patched world against a from-scratch rebuild.
+        churn_moves = int(rng.integers(5, 41))
     if p2p or drop_probability > 0.0 or crashed:
         mode = "distributed"
         if policy not in PROGRESSIVE_POLICIES:
@@ -197,7 +219,36 @@ def random_world(seed: int) -> World:
         drop_probability=drop_probability,
         crashed=crashed,
         p2p=p2p,
+        churn_moves=churn_moves,
     )
+
+
+def churn_schedule(world: World) -> list[list[tuple[int, "Point"]]]:
+    """The world's seeded churn schedule: batches of ``(user, new point)``.
+
+    A pure function of the world (``seed``, ``n``, ``churn_moves``), so a
+    replayed world re-applies the identical movement.  Moves land uniform
+    in the unit square, grouped into small batches; a user appears at
+    most once per batch (the ``apply_moves`` contract) but may move again
+    in later batches.
+    """
+    from repro.geometry.point import Point
+
+    rng = np.random.default_rng(world.seed + 86243)
+    remaining = world.churn_moves
+    batches: list[list[tuple[int, Point]]] = []
+    while remaining > 0:
+        size = int(min(remaining, rng.integers(1, 7)))
+        users = rng.choice(world.n, size=size, replace=False)
+        coords = rng.random((size, 2))
+        batches.append(
+            [
+                (int(u), Point(float(x), float(y)))
+                for u, (x, y) in zip(users, coords)
+            ]
+        )
+        remaining -= size
+    return batches
 
 
 def build_world(world: World) -> BuiltWorld:
@@ -269,6 +320,9 @@ def world_strategy(max_users: int = 40, allow_faults: bool = False):
             mode = "distributed"
             if policy not in PROGRESSIVE_POLICIES:
                 policy = "secure"
+        churn = 0
+        if drop == 0.0 and radio == "ideal":
+            churn = draw(st.integers(0, 16))
         return World(
             seed=seed,
             kind=kind,
@@ -283,6 +337,7 @@ def world_strategy(max_users: int = 40, allow_faults: bool = False):
             drop_probability=drop,
             crashed=crashed,
             p2p=False,
+            churn_moves=churn,
         )
 
     return st.composite(lambda draw: _assemble(draw))()

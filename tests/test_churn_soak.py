@@ -1,0 +1,106 @@
+"""Seeded soak: sustained interleaved churn + requests leaves no stale state.
+
+A small-N tier-1 version of the ``bench_churn`` workload: 200 interleaved
+operations (random-waypoint move batches through ``engine.apply_moves``,
+cloaking requests in between) against a single long-lived engine.  The
+checks are the ones that matter operationally:
+
+* every region still cached at the end is *valid now* — contains all of
+  its cluster's members at their current positions and satisfies
+  k-anonymity (``apply_moves`` must have evicted everything stale);
+* the incrementally-maintained WPG equals a from-scratch rebuild over
+  the final positions;
+* ``clear_regions()`` drains the cache completely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloaking.engine import CloakingEngine
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.datasets.synthetic import uniform_points
+from repro.errors import ClusteringError
+from repro.graph.build import build_wpg_fast
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.verify.invariants import graph_equality_details
+
+N = 400
+OPERATIONS = 200
+MOVERS_PER_TICK = 8
+
+
+@pytest.fixture(scope="module")
+def soaked_engine():
+    dataset = uniform_points(N, seed=21)
+    config = SimulationConfig(
+        user_count=N, k=4, delta=0.08, max_peers=6, seed=21
+    )
+    graph = build_wpg_fast(dataset, config.delta, config.max_peers)
+    engine = CloakingEngine(dataset, graph, config)
+    walkers = RandomWaypointModel(
+        dataset, min_speed=0.005, max_speed=0.03, seed=77
+    )
+    rng = np.random.default_rng(123)
+    served = failed = moves = 0
+    for op in range(OPERATIONS):
+        if op % 2 == 0:
+            movers = rng.choice(N, size=MOVERS_PER_TICK, replace=False)
+            batch = walkers.step_subset(np.sort(movers))
+            engine.apply_moves(batch)
+            moves += len(batch)
+        else:
+            host = int(rng.integers(0, N))
+            try:
+                engine.request(host)
+                served += 1
+            except ClusteringError:
+                failed += 1
+    return engine, config, served, failed, moves
+
+
+def test_soak_exercised_both_paths(soaked_engine):
+    engine, _config, served, failed, moves = soaked_engine
+    assert served + failed == OPERATIONS // 2
+    assert served > 0, "soak never formed a region — workload too sparse"
+    assert moves > 0
+    assert engine.churn_runtime is not None
+
+
+def test_no_stale_cached_regions(soaked_engine):
+    engine, config, _, _, _ = soaked_engine
+    points = engine.dataset.points
+    cached = engine.cached_regions()
+    for members, region in cached.items():
+        assert region.anonymity == len(members)
+        assert region.satisfies(config.k)
+        for member in members:
+            assert region.rect.contains(points[member]), (
+                f"cached region for {sorted(members)} no longer contains "
+                f"user {member} at its current position — stale entry "
+                "survived apply_moves"
+            )
+
+
+def test_incremental_graph_matches_final_rebuild(soaked_engine):
+    engine, config, _, _, _ = soaked_engine
+    rebuilt = build_wpg_fast(
+        PointDataset(list(engine.dataset.points)),
+        config.delta,
+        config.max_peers,
+    )
+    assert (
+        graph_equality_details(engine.graph, rebuilt, "soaked", "rebuild")
+        == []
+    )
+
+
+def test_clear_regions_drains_cache(soaked_engine):
+    # Runs last in file order: mutates the module-scoped engine's cache.
+    engine, config, _, _, _ = soaked_engine
+    before = engine.regions_cached
+    assert engine.clear_regions() == before
+    assert engine.regions_cached == 0
+    assert engine.cached_regions() == {}

@@ -3,9 +3,12 @@
 import numpy as np
 import pytest
 
+from repro.cloaking.engine import CloakingEngine
 from repro.config import SimulationConfig
 from repro.datasets import uniform_points
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.workloads import sample_hosts
+from repro.graph.build import build_wpg
 from repro.mobility.lifetime import run_region_lifetime
 from repro.mobility.waypoint import RandomWaypointModel
 
@@ -111,3 +114,59 @@ class TestRegionLifetime:
         # The fixture's regions demonstrably decay (see the test above),
         # so at least one cached region must have been invalidated.
         assert counts[-1] >= 1
+
+    def test_matches_rebuild_reference(self, result):
+        """The apply_moves-driven run reports the rebuild path's numbers.
+
+        Reference implementation: cloak the identical workload at t = 0,
+        step the identical waypoint model, and recount every series from
+        static snapshots — no churn runtime involved.  Every reported
+        series must match exactly.
+        """
+        dataset = uniform_points(1500, seed=9)
+        config = SimulationConfig(
+            user_count=1500, delta=0.04, max_peers=8, k=6, request_count=30
+        )
+        graph = build_wpg(dataset, config.delta, config.max_peers)
+        engine = CloakingEngine(dataset, graph, config, policy="optimal")
+        hosts = sample_hosts(graph, config.k, 30, seed=37)
+        regions = []
+        seen = set()
+        for host in hosts:
+            try:
+                res = engine.request(host)
+            except ReproError:
+                continue
+            if res.cluster.members in seen:
+                continue
+            seen.add(res.cluster.members)
+            regions.append((res.region.rect, sorted(res.cluster.members)))
+        model = RandomWaypointModel(
+            dataset, min_speed=0.002, max_speed=0.02, seed=37
+        )
+        coverage = [1.0]
+        fully_valid = [1.0]
+        anonymous = [1.0]
+        invalidated = [0]
+        stale = set()
+        for _ in range(6):
+            snapshot = model.step(1.0)
+            inside_total = member_total = intact = still_anonymous = 0
+            for rect, members in regions:
+                inside = sum(1 for m in members if rect.contains(snapshot[m]))
+                inside_total += inside
+                member_total += len(members)
+                if inside == len(members):
+                    intact += 1
+                else:
+                    stale.add(frozenset(members))
+                if inside >= config.k:
+                    still_anonymous += 1
+            coverage.append(inside_total / member_total)
+            fully_valid.append(intact / len(regions))
+            anonymous.append(still_anonymous / len(regions))
+            invalidated.append(len(stale))
+        assert result.member_coverage == tuple(coverage)
+        assert result.regions_fully_valid == tuple(fully_valid)
+        assert result.anonymity_preserved == tuple(anonymous)
+        assert result.regions_invalidated == tuple(invalidated)

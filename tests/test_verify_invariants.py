@@ -29,6 +29,7 @@ EXPECTED_INVARIANTS = {
     "deterministic-replay",
     "p2p-matches-analytic",
     "transcript-audit",
+    "churn-incremental-equal",
 }
 
 
