@@ -9,40 +9,66 @@ served two ways from identical schedules —
   runtime), with the region cache surviving across ticks;
 * **rebuild** — the pre-churn baseline: every tick tears the world down
   and rebuilds ``GridIndex`` + ``build_wpg_fast`` + a fresh engine from
-  the current positions.
+  the current positions;
+* **tree** — the incremental runtime with the cluster-tree fast path
+  (``clustering="tree"``): ``apply_moves`` additionally patches the
+  persistent :class:`~repro.graph.cluster_tree.ClusterTree`, and every
+  request resolves by tree walk.
 
-Both paths serve the same host sequence; the final incremental graph is
-cross-checked edge-for-edge against a from-scratch rebuild of the final
-positions.  Run as a script::
+All paths serve the same host sequence; the final incremental and tree
+graphs are cross-checked edge-for-edge against a from-scratch rebuild
+of the final positions.  Every failed request is classified *outside*
+the latency timing against the exact level-scan oracle
+(:func:`repro.verify.oracles.oracle_smallest_cluster`, excluding the
+already-assigned users): ``sub_k`` means the oracle agrees no valid
+cluster exists (the paper's Fig. 5 failure regime), ``defect`` means
+the oracle found one the engine missed — a correctness bug, reported as
+a first-class column instead of vanishing into a bare count.  Run as a
+script::
 
     PYTHONPATH=src python benchmarks/bench_churn.py \
         --users 50000 --ticks 20 --out BENCH_churn.json
 
-The output schema (``bench_churn/v1``)::
+The output schema (``bench_churn/v2``)::
 
     {
-      "schema": "bench_churn/v1",
+      "schema": "bench_churn/v2",
       "users": 50000, "delta": 0.0029, "max_peers": 10, "k": 10,
       "seed": 3, "ticks": 20, "movers_per_tick": 500,
       "requests_per_tick": 50,
       "incremental": {
         "maintenance_seconds": ..., "moves_per_second": ...,
         "dirty_users_total": ..., "edges_changed_total": ...,
+        "request_seconds": ...,
         "request_latency_ms": {"p50": ..., "p95": ..., "p99": ...},
-        "requests": {"served": ..., "failed": ..., "cache_hit_rate": ...}
+        "requests": {
+          "served": ..., "failed": ...,
+          "failures": {"sub_k": ..., "defect": ...},
+          "cache_hit_rate": ...
+        }
       },
-      "rebuild": {
-        "maintenance_seconds": ...,
-        "request_latency_ms": {"p50": ..., "p95": ..., "p99": ...},
-        "requests": {"served": ..., "failed": ..., "cache_hit_rate": ...}
+      "rebuild": { ... same minus the churn counters ... },
+      "tree": {
+        ... same as incremental ...,
+        "request_speedup": ...        # incremental req s / tree req s
       },
       "maintenance_speedup": ...,   # rebuild seconds / incremental seconds
-      "graphs_equal": true
+      "graphs_equal": true,         # incremental final graph == rebuild
+      "tree_graphs_equal": true     # tree final graph == rebuild
     }
+
+Failure counts may legitimately differ between the tree path and the
+others: the tree is bit-identical to the *closure* reading of
+Algorithm 2 (``DistributedClustering(closure=True)``, pinned by
+``benchmarks/bench_wpg_scale.py`` and the ``cluster-tree-equal`` fuzz
+invariant), while the engine default serves the non-closure reading,
+so their registries diverge.  Zero ``defect`` rows is the invariant
+every path must hold.
 
 The file is a plain script (no pytest fixtures) so ``pytest benchmarks/``
 collects nothing from it; the CI smoke invokes it at a small population
-and asserts ``maintenance_speedup >= 1`` and ``graphs_equal``.
+and asserts ``maintenance_speedup >= 1``, both graph equalities, and
+zero ``defect`` failures on every path.
 """
 
 from __future__ import annotations
@@ -65,6 +91,7 @@ from repro.geometry.point import Point
 from repro.graph.build import build_wpg_fast
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.verify.invariants import graph_equality_details
+from repro.verify.oracles import oracle_smallest_cluster
 
 PAPER_USERS = 104_770
 PAPER_DELTA = 2e-3
@@ -111,20 +138,35 @@ def make_hosts(
     ]
 
 
-def _serve(engine, hosts: list[int], latencies: list[float]) -> tuple[int, int, int]:
-    """Serve ``hosts`` one by one, timing each; returns (served, failed, hits)."""
+def _serve(
+    engine, k: int, hosts: list[int], latencies: list[float], failures: dict
+) -> tuple[int, int, int]:
+    """Serve ``hosts`` one by one, timing each; returns (served, failed, hits).
+
+    Failures are classified against the exact oracle *after* the latency
+    sample is taken, with the registry state the engine failed under:
+    ``sub_k`` when no valid cluster of unassigned users exists (clean),
+    ``defect`` when the oracle finds one the engine missed.
+    """
     served = failed = hits = 0
     for host in hosts:
         t0 = time.perf_counter()
         try:
             result = engine.request(host)
         except ClusteringError:
+            latencies.append(time.perf_counter() - t0)
             failed += 1
+            answer = oracle_smallest_cluster(
+                engine.graph,
+                host,
+                k,
+                exclude=engine.clustering.registry.assigned_view(),
+            )
+            failures["sub_k" if answer is None else "defect"] += 1
         else:
+            latencies.append(time.perf_counter() - t0)
             served += 1
             hits += bool(result.region_from_cache)
-        finally:
-            latencies.append(time.perf_counter() - t0)
     return served, failed, hits
 
 
@@ -137,12 +179,20 @@ def _latency_ms(latencies: list[float]) -> dict:
     }
 
 
-def run_incremental(dataset, graph, config, schedule, hosts) -> tuple[dict, object]:
-    """The churn runtime: one engine, patched in place tick after tick."""
-    engine = CloakingEngine(dataset, graph, config)
+def run_incremental(
+    dataset, graph, config, schedule, hosts, clustering=None
+) -> tuple[dict, object]:
+    """The churn runtime: one engine, patched in place tick after tick.
+
+    ``clustering="tree"`` opts the engine into the cluster-tree fast
+    path; the tree's own churn patching then runs (and is charged)
+    inside ``apply_moves``.
+    """
+    engine = CloakingEngine(dataset, graph, config, clustering=clustering)
     maintenance = 0.0
     dirty_total = edges_changed = moves = 0
     latencies: list[float] = []
+    failures = {"sub_k": 0, "defect": 0}
     served = failed = hits = 0
     for batch, tick_hosts in zip(schedule, hosts):
         t0 = time.perf_counter()
@@ -151,17 +201,19 @@ def run_incremental(dataset, graph, config, schedule, hosts) -> tuple[dict, obje
         moves += patch.moved
         dirty_total += patch.dirty_users
         edges_changed += patch.edges_changed
-        s, f, h = _serve(engine, tick_hosts, latencies)
+        s, f, h = _serve(engine, config.k, tick_hosts, latencies, failures)
         served, failed, hits = served + s, failed + f, hits + h
     record = {
         "maintenance_seconds": round(maintenance, 4),
         "moves_per_second": round(moves / maintenance, 1),
         "dirty_users_total": dirty_total,
         "edges_changed_total": edges_changed,
+        "request_seconds": round(sum(latencies), 4),
         "request_latency_ms": _latency_ms(latencies),
         "requests": {
             "served": served,
             "failed": failed,
+            "failures": failures,
             "cache_hit_rate": round(hits / served, 4) if served else 0.0,
         },
     }
@@ -173,6 +225,7 @@ def run_rebuild(dataset, config, schedule, hosts) -> tuple[dict, object]:
     positions = list(dataset.points)
     maintenance = 0.0
     latencies: list[float] = []
+    failures = {"sub_k": 0, "defect": 0}
     served = failed = hits = 0
     graph = None
     for batch, tick_hosts in zip(schedule, hosts):
@@ -183,14 +236,16 @@ def run_rebuild(dataset, config, schedule, hosts) -> tuple[dict, object]:
         graph = build_wpg_fast(snapshot, config.delta, config.max_peers)
         engine = CloakingEngine(snapshot, graph, config)
         maintenance += time.perf_counter() - t0
-        s, f, h = _serve(engine, tick_hosts, latencies)
+        s, f, h = _serve(engine, config.k, tick_hosts, latencies, failures)
         served, failed, hits = served + s, failed + f, hits + h
     record = {
         "maintenance_seconds": round(maintenance, 4),
+        "request_seconds": round(sum(latencies), 4),
         "request_latency_ms": _latency_ms(latencies),
         "requests": {
             "served": served,
             "failed": failed,
+            "failures": failures,
             "cache_hit_rate": round(hits / served, 4) if served else 0.0,
         },
     }
@@ -247,7 +302,8 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"incremental: {incremental['maintenance_seconds']}s maintenance, "
         f"p50 {incremental['request_latency_ms']['p50']}ms, "
-        f"p99 {incremental['request_latency_ms']['p99']}ms"
+        f"p99 {incremental['request_latency_ms']['p99']}ms, "
+        f"failures {incremental['requests']['failures']}"
     )
     rebuild, final_graph = run_rebuild(
         california_like_poi(args.users, seed=args.seed), config, schedule, hosts
@@ -255,20 +311,50 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"rebuild:     {rebuild['maintenance_seconds']}s maintenance, "
         f"p50 {rebuild['request_latency_ms']['p50']}ms, "
-        f"p99 {rebuild['request_latency_ms']['p99']}ms"
+        f"p99 {rebuild['request_latency_ms']['p99']}ms, "
+        f"failures {rebuild['requests']['failures']}"
+    )
+    tree_dataset = california_like_poi(args.users, seed=args.seed)
+    tree, tree_graph = run_incremental(
+        tree_dataset,
+        build_wpg_fast(tree_dataset, delta, MAX_PEERS),
+        config,
+        schedule,
+        hosts,
+        clustering="tree",
+    )
+    tree["request_speedup"] = round(
+        incremental["request_seconds"] / tree["request_seconds"], 2
+    )
+    print(
+        f"tree:        {tree['maintenance_seconds']}s maintenance, "
+        f"p50 {tree['request_latency_ms']['p50']}ms, "
+        f"p99 {tree['request_latency_ms']['p99']}ms, "
+        f"failures {tree['requests']['failures']}, "
+        f"requests {tree['request_speedup']}x vs incremental"
     )
 
     graphs_equal = (
         graph_equality_details(patched_graph, final_graph, "incremental", "rebuild")
         == []
     )
+    tree_graphs_equal = (
+        graph_equality_details(tree_graph, final_graph, "tree", "rebuild") == []
+    )
     speedup = round(
         rebuild["maintenance_seconds"] / incremental["maintenance_seconds"], 2
     )
-    print(f"maintenance speedup {speedup}x, graphs_equal={graphs_equal}")
+    defects = sum(
+        record["requests"]["failures"]["defect"]
+        for record in (incremental, rebuild, tree)
+    )
+    print(
+        f"maintenance speedup {speedup}x, graphs_equal={graphs_equal}, "
+        f"tree_graphs_equal={tree_graphs_equal}, defects={defects}"
+    )
 
     payload = {
-        "schema": "bench_churn/v1",
+        "schema": "bench_churn/v2",
         "users": args.users,
         "delta": delta,
         "max_peers": MAX_PEERS,
@@ -279,12 +365,15 @@ def main(argv: list[str] | None = None) -> int:
         "requests_per_tick": args.requests_per_tick,
         "incremental": incremental,
         "rebuild": rebuild,
+        "tree": tree,
         "maintenance_speedup": speedup,
         "graphs_equal": graphs_equal,
+        "tree_graphs_equal": tree_graphs_equal,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
-    return 0 if graphs_equal else 1
+    clean = graphs_equal and tree_graphs_equal and defects == 0
+    return 0 if clean else 1
 
 
 if __name__ == "__main__":

@@ -14,10 +14,10 @@ per-phase wall-time breakdown (``wpg_build`` / ``clustering`` /
 ``bounding`` / ``server``), its coverage of the measured wall time, and
 the full metrics snapshot (readable with ``python -m repro.obs.report``).
 
-The output schema (``bench_wpg/v2``)::
+The output schema (``bench_wpg/v3``)::
 
     {
-      "schema": "bench_wpg/v2",
+      "schema": "bench_wpg/v3",
       "max_peers": 10, "k": 10, "seed": 3, "requests": 2000,
       "obs_enabled": false,
       "sizes": [
@@ -30,6 +30,16 @@ The output schema (``bench_wpg/v2``)::
           "requests": {
             "count": 2000, "seconds": ...,
             "requests_per_second": ..., "cache_hit_rate": ...
+          },
+          "clustering": {                 # phase-1 only, same workload
+            "count": 2000, "failed": ...,
+            "distributed": {"seconds": ..., "requests_per_second": ...},
+            "tree": {
+              "build_seconds": ..., "seconds": ...,
+              "requests_per_second": ..., "fallbacks": ...
+            },
+            "speedup": ...,               # distributed s / tree s
+            "partitions_equal": true      # same registry, same order
           },
           "server": {
             "pois": 2000, "seconds": ..., "cost_messages": ...
@@ -63,10 +73,14 @@ import numpy as np
 
 from repro import obs
 from repro.cloaking.engine import CloakingEngine
+from repro.clustering.distributed import DistributedClustering
+from repro.clustering.tree import TreeClustering
 from repro.config import SimulationConfig
 from repro.datasets.california import california_like_poi
+from repro.errors import ClusteringError
 from repro.experiments.workloads import clusterable_users
 from repro.graph.build import build_wpg, build_wpg_fast
+from repro.graph.cluster_tree import ClusterTree
 from repro.obs import names as metric
 from repro.server.costs import request_cost_messages
 from repro.server.poidb import POIDatabase
@@ -90,6 +104,75 @@ def _span_total(snapshot: dict, name: str) -> float:
     """Total recorded seconds of span ``name`` (0 when it never fired)."""
     entry = snapshot["spans"].get(name)
     return entry["total"] if entry else 0.0
+
+
+def _serve_phase1(service, workload: list[int]) -> tuple[float, int]:
+    """Time a raw phase-1 request stream; returns (seconds, failures)."""
+    failed = 0
+    t0 = time.perf_counter()
+    for host in workload:
+        try:
+            service.request(host)
+        except ClusteringError:
+            failed += 1
+    return time.perf_counter() - t0, failed
+
+
+def _tree_fallbacks() -> float | None:
+    if not obs.enabled():
+        return None
+    return obs.snapshot()["counters"].get(metric.CLUSTERING_TREE_FALLBACKS, 0.0)
+
+
+def bench_clustering(graph, k: int, workload: list[int]) -> dict:
+    """Phase-1 clustering throughput: closure flood vs cluster-tree walk.
+
+    Both services get a fresh registry and the identical host stream; the
+    tree's answers are checked registry-identical (same clusters, same
+    registration order) against the ``DistributedClustering(closure=True)``
+    reference it claims bit-identity with.  The dendrogram build is
+    reported separately — it is paid once per population, not per request.
+    """
+    reference = DistributedClustering(graph, k, closure=True)
+    distributed_seconds, distributed_failed = _serve_phase1(reference, workload)
+
+    fallbacks_before = _tree_fallbacks()
+    t0 = time.perf_counter()
+    tree = ClusterTree(graph)
+    tree_build_seconds = time.perf_counter() - t0
+    service = TreeClustering(graph, k, tree=tree)
+    tree_seconds, tree_failed = _serve_phase1(service, workload)
+    fallbacks = (
+        None
+        if fallbacks_before is None
+        else _tree_fallbacks() - fallbacks_before
+    )
+
+    partitions_equal = distributed_failed == tree_failed and [
+        reference.registry.cluster_by_id(i)
+        for i in range(len(reference.registry))
+    ] == [
+        service.registry.cluster_by_id(i)
+        for i in range(len(service.registry))
+    ]
+    return {
+        "count": len(workload),
+        "failed": distributed_failed,
+        "distributed": {
+            "seconds": round(distributed_seconds, 4),
+            "requests_per_second": round(
+                len(workload) / distributed_seconds, 1
+            ),
+        },
+        "tree": {
+            "build_seconds": round(tree_build_seconds, 4),
+            "seconds": round(tree_seconds, 4),
+            "requests_per_second": round(len(workload) / tree_seconds, 1),
+            "fallbacks": fallbacks,
+        },
+        "speedup": round(distributed_seconds / tree_seconds, 2),
+        "partitions_equal": partitions_equal,
+    }
 
 
 def bench_size(users: int, requests: int, seed: int) -> dict:
@@ -135,6 +218,8 @@ def bench_size(users: int, requests: int, seed: int) -> dict:
     )
     server_seconds = time.perf_counter() - t0
 
+    clustering = bench_clustering(fast, config.k, workload)
+
     record = {
         "users": users,
         "delta": delta,
@@ -151,6 +236,7 @@ def bench_size(users: int, requests: int, seed: int) -> dict:
             "requests_per_second": round(len(results) / request_seconds, 1),
             "cache_hit_rate": round(hits / len(results), 4),
         },
+        "clustering": clustering,
         "server": {
             "pois": SERVER_POIS,
             "seconds": round(server_seconds, 4),
@@ -224,6 +310,14 @@ def main(argv: list[str] | None = None) -> int:
             f"{reqs['requests_per_second']} req/s, "
             f"cache hit rate {reqs['cache_hit_rate']}"
         )
+        clu = record["clustering"]
+        print(
+            f"  clustering: distributed "
+            f"{clu['distributed']['requests_per_second']} req/s, tree "
+            f"{clu['tree']['requests_per_second']} req/s "
+            f"({clu['speedup']}x, build {clu['tree']['build_seconds']}s, "
+            f"partitions_equal={clu['partitions_equal']})"
+        )
         if "obs" in record:
             phases = record["obs"]["phases"]
             breakdown = ", ".join(f"{k} {v}s" for k, v in phases.items())
@@ -234,7 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         records.append(record)
 
     payload = {
-        "schema": "bench_wpg/v2",
+        "schema": "bench_wpg/v3",
         "max_peers": MAX_PEERS,
         "k": SimulationConfig().k,
         "seed": args.seed,
@@ -244,7 +338,11 @@ def main(argv: list[str] | None = None) -> int:
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
-    return 0 if all(r["build"]["graphs_equal"] for r in records) else 1
+    equal = all(
+        r["build"]["graphs_equal"] and r["clustering"]["partitions_equal"]
+        for r in records
+    )
+    return 0 if equal else 1
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.geometry.rect import Rect
 from repro.obs import names as metric
 from repro.clustering.base import ClusterResult
 from repro.clustering.distributed import DistributedClustering
+from repro.clustering.tree import TreeClustering
 from repro.cloaking.anonymizer import CentralizedAnonymizer
 from repro.cloaking.region import CloakedRegion
 from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
@@ -113,7 +114,11 @@ class CloakingEngine:
         spatial extent on top of k-anonymity.
     clustering:
         Optional custom phase-1 service (overrides ``mode``), e.g. the
-        hilbASR baseline or a message-level protocol.
+        hilbASR baseline or a message-level protocol.  The string
+        ``"tree"`` opts into the cluster-tree fast path
+        (:class:`~repro.clustering.tree.TreeClustering`): the closure
+        reading of Algorithm 2 resolved on a persistent bottleneck
+        cluster tree, maintained incrementally under :meth:`apply_moves`.
     reliability:
         The fault-tolerance knob.  ``None`` or a disabled policy (the
         default) keeps the analytic request path bit-identical to the
@@ -136,7 +141,7 @@ class CloakingEngine:
         mode: Mode = "distributed",
         policy: str | PolicyBuilder = "secure",
         min_area: float = 0.0,
-        clustering: Optional[ClusteringService] = None,
+        clustering: Optional[ClusteringService | str] = None,
         reliability: Optional[ReliabilityPolicy] = None,
         failure_plan: Optional[FailurePlan] = None,
     ) -> None:
@@ -168,7 +173,14 @@ class CloakingEngine:
             self._policy_builder = self._resolve_policy(policy)
             self._next_region_id = 0
             return
-        if clustering is not None:
+        if clustering == "tree":
+            self._clustering = TreeClustering(graph, config.k)
+        elif isinstance(clustering, str):
+            raise ConfigurationError(
+                f"unknown clustering service name {clustering!r} "
+                "(the only named opt-in is 'tree')"
+            )
+        elif clustering is not None:
             # A custom phase-1 service (e.g. the hilbASR baseline or a
             # message-level protocol) overrides the mode selection.
             self._clustering = clustering
@@ -454,6 +466,12 @@ class CloakingEngine:
         if self._churn is None:
             self._churn = self._build_churn_runtime()
         patch = self._churn.apply_moves(moves)
+        # Clustering services that maintain derived structures over the
+        # graph (the cluster tree) consume the patch's edge diffs here,
+        # so they track the in-place graph mutation batch for batch.
+        consume_patch = getattr(self._clustering, "apply_churn_patch", None)
+        if consume_patch is not None:
+            consume_patch(patch)
         for user, point in moves:
             self._dataset.move(user, point)  # type: ignore[attr-defined]
         registry = self._clustering.registry
@@ -502,26 +520,43 @@ class CloakingEngine:
     def _enforce_granularity(self, region: Rect) -> Rect:
         """Grow ``region`` until it satisfies the minimum-area metric.
 
-        Uniform margin on all sides, then clipped to the unit square;
-        the loop handles clipping at the map edge (a corner region may
-        need a few growth rounds to reach the target area).
+        Uniform margin on all sides, then clipped to the unit square.
+        The analytic rounds solve the unclipped margin and usually land
+        in one or two iterations, but a region clipped on two or more
+        sides (a map corner) can stall: the solved margin ignores the
+        sides the clipping eats.  A bisection over the uniform margin
+        then finishes the job — margin 1 always covers the whole unit
+        square and ``min_area <= 1``, so a satisfying margin exists and
+        the target is guaranteed, never silently under-delivered.
         """
         if self._min_area <= 0.0 or region.area >= self._min_area:
             return region
         unit = Rect.unit_square()
+        target = self._min_area
         grown = region
         for _round in range(64):
-            if grown.area >= self._min_area:
+            if grown.area >= target:
                 return grown
             # Solve (w + 2m)(h + 2m) = target for the margin m, ignoring
             # clipping; clip and re-check.
             w, h = grown.width, grown.height
             # Quadratic: 4m^2 + 2(w + h)m + (wh - target) = 0.
-            target = self._min_area
             disc = (w + h) ** 2 - 4.0 * (w * h - target)
             margin = (-(w + h) + disc**0.5) / 4.0
             grown = grown.expanded(max(margin, 1e-6)).clipped_to(unit)
-        return grown
+        if grown.area >= target:
+            return grown
+        # Corner stall: the clipped area is nondecreasing in the margin,
+        # so bisect it on the original region.  ``hi`` satisfies the
+        # target at every step (it starts at 1), hence so does the result.
+        lo, hi = 0.0, 1.0
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if region.expanded(mid).clipped_to(unit).area >= target:
+                hi = mid
+            else:
+                lo = mid
+        return region.expanded(hi).clipped_to(unit)
 
     def _bound(self, members: frozenset[int], host: int) -> tuple[Rect, int]:
         """Phase 2 over the cluster; returns (region, bounding messages).

@@ -50,6 +50,13 @@ class ChurnPatch:
     whose picks were re-ranked, i.e. the only vertices whose incident
     edges may differ from before.  Any component/dendrogram cache a caller
     maintains needs invalidation exactly for components containing these.
+
+    ``changed_edges`` are the structural diffs themselves, as ``(u, v)``
+    keys (u < v) of every edge added, removed or reweighted — the precise
+    invalidation set consumers like
+    :meth:`~repro.graph.cluster_tree.ClusterTree.apply_patch` rebuild
+    along (a re-ranked user whose picks diffed to nothing appears in
+    ``touched_users`` but contributes no changed edge).
     """
 
     moved: int
@@ -58,6 +65,7 @@ class ChurnPatch:
     edges_removed: int
     edges_reweighted: int
     touched_users: tuple[int, ...]
+    changed_edges: tuple[tuple[int, int], ...] = ()
 
     @property
     def edges_changed(self) -> int:
@@ -263,6 +271,7 @@ class IncrementalWPG:
             pairs.add((a, b) if a < b else (b, a))
 
         added = removed = reweighted = 0
+        changed: list[tuple[int, int]] = []
         graph = self._graph
         for a, b in pairs:
             ra = self._picks[a].get(b)
@@ -279,13 +288,17 @@ class IncrementalWPG:
                 if graph.has_edge(a, b):
                     graph.remove_edge(a, b)
                     removed += 1
+                    changed.append((a, b))
             elif not graph.has_edge(a, b):
                 graph.add_edge(a, b, desired)
                 added += 1
+                changed.append((a, b))
             elif graph.weight(a, b) != desired:
                 graph.remove_edge(a, b)
                 graph.add_edge(a, b, desired)
                 reweighted += 1
+                changed.append((a, b))
+        changed.sort()
         return ChurnPatch(
             moved=len(ids),
             dirty_users=len(dirty_list),
@@ -293,4 +306,5 @@ class IncrementalWPG:
             edges_removed=removed,
             edges_reweighted=reweighted,
             touched_users=tuple(dirty_list),
+            changed_edges=tuple(changed),
         )

@@ -64,6 +64,19 @@ CLUSTERING_ISOLATION_MERGES = "clustering.isolation_merges"
 SPAN_PROPOSE = "clustering.propose"
 SPAN_PARTITION_ALL = "clustering.partition_all"
 
+# -- cluster-tree fast path (phase 1, tree service) -------------------------------
+
+#: Requests the tree service resolved entirely by ancestor walks.
+CLUSTERING_TREE_FAST = "clustering.tree_fast_requests"
+#: Requests delegated to the exclusion-aware distributed path because a
+#: consulted tree node contained already-assigned (marked) leaves.
+CLUSTERING_TREE_FALLBACKS = "clustering.tree_fallbacks"
+#: Component trees re-derived while consuming churn patches.
+CLUSTERING_TREE_REBUILDS = "clustering.tree_rebuilds"
+
+SPAN_TREE_BUILD = "clustering.tree_build"
+SPAN_TREE_PATCH = "clustering.tree_patch"
+
 # -- secure bounding (phase 2 internals) -----------------------------------------
 
 BOUNDING_RUNS = "bounding.runs"

@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence
 from repro import obs
 from repro.cloaking.engine import CloakingEngine
 from repro.cloaking.p2p_engine import P2PCloakingSession
+from repro.clustering.distributed import DistributedClustering
 from repro.errors import ClusteringError
 from repro.network.failures import FailurePlan
 from repro.network.node import populate_network
@@ -38,6 +39,7 @@ from repro.verify.invariants import (
     ChurnObservation,
     P2PObservation,
     RequestRecord,
+    TreeObservation,
     Violation,
     WorldRun,
     check_world,
@@ -140,6 +142,51 @@ def _serve(
     return engine, records, churn
 
 
+def _serve_tree(built: BuiltWorld) -> TreeObservation:
+    """Serve the world twice more: cluster-tree fast path vs its reference.
+
+    Runs independently of the world's own mode: both engines use the
+    distributed closure reading of Algorithm 2 — one resolved on the
+    persistent cluster tree, one by Prim spans and t-floods — over
+    private graph copies, so churn worlds patch the tree incrementally
+    while the pristine ``built.graph`` stays untouched.  The
+    ``cluster-tree-equal`` invariant compares the record streams.
+    """
+    world = built.world
+    tree_engine = CloakingEngine(
+        built.dataset,
+        built.graph.copy(),
+        built.config,
+        policy=world.policy,
+        clustering="tree",
+    )
+    reference_graph = built.graph.copy()
+    reference = CloakingEngine(
+        built.dataset,
+        reference_graph,
+        built.config,
+        policy=world.policy,
+        clustering=DistributedClustering(
+            reference_graph, built.config.k, closure=True
+        ),
+    )
+    observation = TreeObservation(
+        engine=tree_engine,
+        reference=reference,
+        records=_request_loop(tree_engine, built.hosts),
+        reference_records=_request_loop(reference, built.hosts),
+    )
+    if world.churn_moves:
+        for batch in churn_schedule(world):
+            tree_engine.apply_moves(batch)
+            reference.apply_moves(batch)
+        observation.post_records = _request_loop(tree_engine, built.hosts)
+        observation.reference_post_records = _request_loop(
+            reference, built.hosts
+        )
+    return observation
+
+
 def _serve_p2p(built: BuiltWorld) -> P2PObservation:
     """Replay the same request sequence message-level, with a wire tap."""
     network = PeerNetwork()
@@ -194,6 +241,7 @@ def run_world(world: World) -> WorldRun:
     with obs.span(metric.SPAN_VERIFY_WORLD):
         engine, records, churn = _serve(built)
         _replay_engine, replay_records, _replay_churn = _serve(built)
+        tree = _serve_tree(built)
         p2p = None
         if world.p2p:
             if obs.enabled():
@@ -208,6 +256,7 @@ def run_world(world: World) -> WorldRun:
         replay_records=replay_records,
         p2p=p2p,
         churn=churn,
+        tree=tree,
     )
 
 
@@ -271,8 +320,11 @@ def fuzz(
                     per_invariant.get(violation.invariant, 0) + 1
                 )
                 print(f"  [{violation.invariant}] {violation.detail}")
+    checked_names = (
+        invariants if invariants is not None else registered_invariants()
+    )
     print(
-        f"fuzz: {checked} worlds, {len(registered_invariants())} invariants, "
+        f"fuzz: {checked} worlds, {len(checked_names)} invariants, "
         f"{failures} failing world(s)"
     )
     if per_invariant:

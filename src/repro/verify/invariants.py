@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
-from repro.clustering.centralized import strict_partition
+from repro.clustering.centralized import centralized_k_clustering, strict_partition
 from repro.clustering.isolation import (
     border_condition_holds,
     isolation_counterexample,
@@ -30,6 +30,7 @@ from repro.errors import VerificationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.graph.build import build_wpg_fast
+from repro.graph.cluster_tree import ClusterTree
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.node import UserDevice
 from repro.obs import names as metric
@@ -99,6 +100,28 @@ class ChurnObservation:
 
 
 @dataclass(slots=True)
+class TreeObservation:
+    """The cluster-tree differential replay of a world.
+
+    Two extra engines serve the same request sequence — one on the
+    persistent cluster tree (``clustering="tree"``), one on the plain
+    closure reading of Algorithm 2
+    (``DistributedClustering(closure=True)``) — and for churn worlds
+    both consume the identical movement schedule, the tree engine
+    patching its tree incrementally.  The ``cluster-tree-equal``
+    invariant compares the two record streams and the patched tree
+    against a fresh build.
+    """
+
+    engine: CloakingEngine  # clustering="tree"
+    reference: CloakingEngine  # DistributedClustering(closure=True)
+    records: List[RequestRecord]
+    reference_records: List[RequestRecord]
+    post_records: Optional[List[RequestRecord]] = None
+    reference_post_records: Optional[List[RequestRecord]] = None
+
+
+@dataclass(slots=True)
 class WorldRun:
     """Everything one fuzzed world produced, ready for invariant checks."""
 
@@ -108,6 +131,7 @@ class WorldRun:
     replay_records: Optional[List[RequestRecord]] = None
     p2p: Optional[P2PObservation] = None
     churn: Optional[ChurnObservation] = None
+    tree: Optional[TreeObservation] = None
 
 
 Invariant = Callable[[WorldRun], List[str]]
@@ -606,4 +630,155 @@ def _churn_incremental_equal(run: WorldRun) -> List[str]:
                 f"stale cached region for cluster {sorted(members)[:6]}: "
                 f"members {stale[:4]} moved out without invalidation"
             )
+    return details
+
+
+# -- cluster-tree fast path ---------------------------------------------------------
+
+
+def _canonical_partition(groups) -> list[tuple[int, ...]]:
+    """Order-free canonical form of a partition.
+
+    Never compare group containers with ``sorted()`` directly: sets and
+    frozensets order by the *subset* relation, a partial order that makes
+    list comparisons meaningless.
+    """
+    return sorted(tuple(sorted(group)) for group in groups)
+
+
+def _tree_record_diffs(
+    tree_records: List[RequestRecord],
+    reference_records: List[RequestRecord],
+    label: str,
+) -> List[str]:
+    """Record-by-record differences between the two tree-replay passes."""
+    if len(tree_records) != len(reference_records):
+        return [
+            f"{label}: tree pass produced {len(tree_records)} records, "
+            f"reference {len(reference_records)}"
+        ]
+    details: List[str] = []
+    for ours, ref in zip(tree_records, reference_records):
+        if ours.error != ref.error:
+            details.append(
+                f"{label} host {ours.host}: tree pass "
+                f"{ours.error or 'succeeded'!r} vs reference "
+                f"{ref.error or 'succeeded'!r}"
+            )
+            continue
+        if ours.result is None or ref.result is None:
+            continue
+        a, b = ours.result, ref.result
+        if a.cluster.members != b.cluster.members:
+            details.append(
+                f"{label} host {ours.host}: tree cluster "
+                f"{sorted(a.cluster.members)[:6]} != reference "
+                f"{sorted(b.cluster.members)[:6]}"
+            )
+        elif a.region.rect != b.region.rect:
+            details.append(
+                f"{label} host {ours.host}: tree region {a.region.rect} "
+                f"!= reference {b.region.rect}"
+            )
+        elif a.region_from_cache != b.region_from_cache:
+            details.append(
+                f"{label} host {ours.host}: region_from_cache "
+                f"{a.region_from_cache} != reference {b.region_from_cache}"
+            )
+        elif a.cluster.from_cache != b.cluster.from_cache:
+            details.append(
+                f"{label} host {ours.host}: cluster from_cache "
+                f"{a.cluster.from_cache} != reference {b.cluster.from_cache}"
+            )
+    return details
+
+
+@invariant("cluster-tree-equal")
+def _cluster_tree_equal(run: WorldRun) -> List[str]:
+    """The persistent cluster tree is exactly the dendrogram/oracle math.
+
+    Four layers, all on the same fuzzed world: (a) whole-graph strict and
+    greedy partitions routed through the tree equal the direct
+    ``centralized_k_clustering`` runs; (b) every requested host's tree
+    ancestor walk equals the from-definition level-scan oracle, cluster
+    and t both; (c) on small worlds, the tree's Property 4.1 isolation
+    bits along each host's ancestor path match the exhaustive removal
+    oracle; (d) the tree-replay engine pass (including post-churn, where
+    the tree was patched incrementally) matches the closure-reference
+    pass record for record, and the patched tree equals a fresh build
+    over the churned graph node for node.
+    """
+    graph = run.built.graph
+    k = run.built.config.k
+    details: List[str] = []
+    tree = ClusterTree(graph)
+
+    for method in ("strict", "greedy"):
+        direct = centralized_k_clustering(graph, k, method=method)
+        routed = centralized_k_clustering(graph, k, method=method, tree=tree)
+        if _canonical_partition(direct.all_groups()) != _canonical_partition(
+            routed.all_groups()
+        ):
+            details.append(
+                f"whole-graph {method} partition differs between the tree "
+                "route and the direct dendrogram path"
+            )
+
+    for host in run.built.hosts:
+        scan = oracle_smallest_cluster(graph, host, k)
+        walk = tree.smallest_valid_cluster(host, k)
+        if (scan is None) != (walk is None):
+            details.append(
+                f"host {host}: level scan "
+                f"{'found no' if scan is None else 'found a'} cluster, "
+                f"tree walk disagrees"
+            )
+        elif scan is not None and walk is not None:
+            if set(scan[0]) != set(walk[0]) or scan[1] != walk[1]:
+                details.append(
+                    f"host {host}: tree walk ({sorted(walk[0])[:6]}, "
+                    f"t={walk[1]}) != level scan ({sorted(scan[0])[:6]}, "
+                    f"t={scan[1]})"
+                )
+
+    if graph.vertex_count <= ISOLATION_SWEEP_MAX_USERS:
+        checked: set = set()
+        for host in run.built.hosts:
+            node = tree.smallest_valid_node(host, k)
+            while node is not None:
+                if node not in checked:
+                    checked.add(node)
+                    leaves = set(tree.leaves(node))
+                    bit = tree.is_isolated(node, k)
+                    violators = oracle_isolation_violations(graph, leaves, k)
+                    if bit != (not violators):
+                        details.append(
+                            f"node {sorted(leaves)[:6]}: isolation bit "
+                            f"{bit} but oracle violators {violators[:4]}"
+                        )
+                node = tree.parent(node)
+
+    if run.tree is not None:
+        details.extend(
+            _tree_record_diffs(
+                run.tree.records, run.tree.reference_records, "pass 1"
+            )
+        )
+        if run.tree.post_records is not None:
+            details.extend(
+                _tree_record_diffs(
+                    run.tree.post_records,
+                    run.tree.reference_post_records or [],
+                    "post-churn",
+                )
+            )
+            live = run.tree.engine.clustering.tree  # type: ignore[attr-defined]
+            fresh = ClusterTree(run.tree.engine.graph)
+            if sorted(live.node_signatures()) != sorted(
+                fresh.node_signatures()
+            ):
+                details.append(
+                    "incrementally-patched cluster tree differs from a "
+                    "fresh build over the churned graph"
+                )
     return details

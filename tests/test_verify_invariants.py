@@ -30,6 +30,7 @@ EXPECTED_INVARIANTS = {
     "p2p-matches-analytic",
     "transcript-audit",
     "churn-incremental-equal",
+    "cluster-tree-equal",
 }
 
 
