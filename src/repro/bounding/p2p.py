@@ -33,6 +33,7 @@ from repro.network.reliability import (
 )
 from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
 from repro.obs import names as metric
+from repro.obs import trace as _trace
 
 
 @dataclass(frozen=True, slots=True)
@@ -113,6 +114,13 @@ def p2p_upper_bound(
         # verification round trip == one unit of Cb, whichever layer
         # carried it.
         _record_run(outcome)
+    flight = _trace._recorder
+    if flight is not None:
+        flight.record(
+            _trace.EVT_BOUNDING_RUN, axis=axis, sign=sign,
+            iterations=iterations, messages=verify_messages,
+            unresolved=len(crashed),
+        )
     return P2PBoundingReport(
         outcome=outcome,
         messages_sent=network.stats.sent - sent_before,
@@ -240,6 +248,17 @@ def resilient_bounding_box(
                 restarts=restarts,
             )
         # Crash(es) mid-run: evict and restart with the survivors.
+        flight = _trace._recorder
+        if flight is not None:
+            for member in sorted(unresolved - evicted):
+                flight.record(
+                    _trace.EVT_EVICTION, peer=member, host=host,
+                    phase="bounding",
+                )
+            flight.record(
+                _trace.EVT_BOUNDING_RESTART, host=host,
+                restarts=restarts + 1, survivors=len(survivors) - len(unresolved - evicted),
+            )
         evicted |= unresolved
         survivors = [m for m in survivors if m not in unresolved]
         restarts += 1

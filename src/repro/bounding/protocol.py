@@ -22,6 +22,7 @@ from repro import obs
 from repro.errors import BoundingError, ConfigurationError
 from repro.bounding.policies import IncrementPolicy
 from repro.obs import names as metric
+from repro.obs import trace as _trace
 
 
 @dataclass(frozen=True, slots=True)
@@ -158,6 +159,12 @@ def progressive_upper_bound(
     )
     if obs.enabled():
         _record_run(outcome)
+    flight = _trace._recorder
+    if flight is not None:
+        flight.record(
+            _trace.EVT_BOUNDING_RUN, iterations=outcome.iterations,
+            messages=outcome.messages, exposed=outcome.exposed_users,
+        )
     return outcome
 
 
@@ -173,7 +180,11 @@ def _record_run(outcome: BoundingOutcome) -> None:
     obs.inc(metric.BOUNDING_ITERATIONS, outcome.iterations)
     obs.inc(metric.BOUNDING_VERIFICATIONS, outcome.messages)
     obs.inc(metric.BOUNDING_EXPOSED_USERS, outcome.exposed_users)
-    obs.observe(metric.BOUNDING_ITERATIONS_PER_RUN, outcome.iterations)
+    obs.observe(
+        metric.BOUNDING_ITERATIONS_PER_RUN,
+        outcome.iterations,
+        bounds=obs.COUNT_BUCKETS,
+    )
 
 
 def optimal_bound(values: Sequence[float]) -> float:

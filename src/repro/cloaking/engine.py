@@ -42,8 +42,9 @@ from repro.graph.incremental import ChurnPatch, IncrementalWPG
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.failures import FailurePlan
 from repro.network.node import populate_network
-from repro.network.reliability import ReliabilityPolicy, resolve
+from repro.network.reliability import ProtocolAbort, ReliabilityPolicy, resolve
 from repro.network.simulator import PeerNetwork
+from repro.obs import trace as _trace
 from repro.spatial.grid import GridIndex
 
 Mode = Literal["distributed", "centralized"]
@@ -283,9 +284,39 @@ class CloakingEngine:
         return self._reliable_session
 
     def request(self, host: int) -> CloakingResult:
-        """Serve one cloaking request end to end."""
-        with obs.span(metric.SPAN_REQUEST):
-            return self._request(host)
+        """Serve one cloaking request end to end.
+
+        Each call runs under its own trace scope (nested calls adopt the
+        enclosing trace), so spans, histogram exemplars, message
+        envelopes, and flight-recorder events all correlate on one id.
+        """
+        with _trace.request_scope():
+            recorder = _trace._recorder
+            if recorder is None:
+                with obs.span(metric.SPAN_REQUEST):
+                    return self._request(host)
+            recorder.record(_trace.EVT_REQUEST_START, host=host)
+            try:
+                with obs.span(metric.SPAN_REQUEST):
+                    result = self._request(host)
+            except ProtocolAbort as exc:
+                # abort() already recorded the typed abort event itself.
+                recorder.record(
+                    _trace.EVT_REQUEST_END, host=host,
+                    status=f"abort:{exc.reason}",
+                )
+                raise
+            except Exception as exc:
+                recorder.record(
+                    _trace.EVT_REQUEST_END, host=host,
+                    status=f"error:{type(exc).__name__}",
+                )
+                raise
+            recorder.record(
+                _trace.EVT_REQUEST_END, host=host,
+                status="cache_hit" if result.region_from_cache else "ok",
+            )
+            return result
 
     def _request(self, host: int) -> CloakingResult:
         if self._reliable_session is not None:
@@ -300,6 +331,19 @@ class CloakingEngine:
                 metric.CLOAKING_CACHE_HITS
                 if cached is not None
                 else metric.CLOAKING_CACHE_MISSES
+            )
+        recorder = _trace._recorder
+        if recorder is not None:
+            recorder.record(
+                _trace.EVT_CLUSTER_FORMED, host=host,
+                size=cluster_result.size,
+                from_cache=cluster_result.from_cache,
+                involved=cluster_result.involved,
+            )
+            recorder.record(
+                _trace.EVT_CACHE_HIT if cached is not None
+                else _trace.EVT_CACHE_MISS,
+                host=host,
             )
         if cached is not None:
             return CloakingResult(
@@ -375,19 +419,25 @@ class CloakingEngine:
         of a round trip through the phase-1 service.  Only hosts that
         still need clustering or bounding fall through to the full path.
         """
-        with obs.span(metric.SPAN_REQUEST_MANY):
-            return self._request_many(hosts)
+        with _trace.request_scope():
+            with obs.span(metric.SPAN_REQUEST_MANY):
+                return self._request_many(hosts)
 
     def _request_many(self, hosts: Iterable[int]) -> list[CloakingResult]:
         registry = self._clustering.registry
         regions = self._regions
         results: list[CloakingResult] = []
         fast_hits = 0
+        recorder = _trace._recorder
         for host in hosts:
             members = registry.cluster_of(host)
             cached = regions.get(members) if members is not None else None
             if members is not None and cached is not None:
                 fast_hits += 1
+                if recorder is not None:
+                    recorder.record(
+                        _trace.EVT_CACHE_HIT, host=host, fast_path=True
+                    )
                 # Exactly the answer request() assembles for an
                 # already-clustered host with a cached region: every
                 # phase-1 service reports such hits as involved=0,
@@ -459,8 +509,9 @@ class CloakingEngine:
         default :func:`~repro.graph.build.build_wpg_fast` output
         qualifies.
         """
-        with obs.span(metric.SPAN_CHURN_APPLY):
-            return self._apply_moves(list(moves))
+        with _trace.request_scope():
+            with obs.span(metric.SPAN_CHURN_APPLY):
+                return self._apply_moves(list(moves))
 
     def _apply_moves(self, moves: list[tuple[int, Point]]) -> ChurnPatch:
         if self._churn is None:
@@ -496,6 +547,16 @@ class CloakingEngine:
                 metric.CHURN_DIRTY_PER_BATCH,
                 patch.dirty_users,
                 bounds=_DIRTY_BUCKETS,
+            )
+        recorder = _trace._recorder
+        if recorder is not None:
+            recorder.record(
+                _trace.EVT_CHURN_PATCH, moves=patch.moved,
+                dirty_users=patch.dirty_users,
+                edges_added=patch.edges_added,
+                edges_removed=patch.edges_removed,
+                edges_reweighted=patch.edges_reweighted,
+                regions_invalidated=invalidated,
             )
         return patch
 

@@ -31,11 +31,13 @@ from repro.geometry.rect import Rect
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.node import populate_network
 from repro.network.reliability import (
+    ProtocolAbort,
     ReliabilityPolicy,
     ReliableTransport,
     resolve,
 )
 from repro.network.simulator import PeerNetwork
+from repro.obs import trace as _trace
 
 
 @dataclass(frozen=True, slots=True)
@@ -136,6 +138,11 @@ class P2PCloakingSession:
         return self._clustering.registry
 
     @property
+    def network(self) -> PeerNetwork:
+        """The peer network carrying both phases (traffic stats live here)."""
+        return self._network
+
+    @property
     def transport(self) -> Optional[ReliableTransport]:
         """The reliable transport, when a policy is enabled."""
         return self._transport
@@ -158,10 +165,52 @@ class P2PCloakingSession:
         :class:`~repro.network.reliability.ProtocolAbort`; without one,
         they propagate as raw :class:`~repro.errors.ProtocolError`\\ s,
         exactly the seed behavior.
+
+        Runs under a trace scope of its own; when called from the
+        engine's reliable path it adopts the engine's trace instead, and
+        only the scope *owner* emits the request start/end events.
         """
+        owner = _trace._current is None
+        with _trace.request_scope():
+            recorder = _trace._recorder
+            if recorder is None:
+                return self._request_wire(host)
+            if owner:
+                recorder.record(_trace.EVT_REQUEST_START, host=host)
+            try:
+                result = self._request_wire(host)
+            except ProtocolAbort as exc:
+                if owner:
+                    recorder.record(
+                        _trace.EVT_REQUEST_END, host=host,
+                        status=f"abort:{exc.reason}",
+                    )
+                raise
+            except Exception as exc:
+                if owner:
+                    recorder.record(
+                        _trace.EVT_REQUEST_END, host=host,
+                        status=f"error:{type(exc).__name__}",
+                    )
+                raise
+            if owner:
+                recorder.record(
+                    _trace.EVT_REQUEST_END, host=host,
+                    status="cache_hit" if result.region_from_cache else "ok",
+                )
+            return result
+
+    def _request_wire(self, host: int) -> P2PCloakingResult:
         clustering_report = self._clustering.request(host)
         cluster = clustering_report.result
         cached = self._regions.get(cluster.members)
+        recorder = _trace._recorder
+        if recorder is not None:
+            recorder.record(
+                _trace.EVT_CACHE_HIT if cached is not None
+                else _trace.EVT_CACHE_MISS,
+                host=host,
+            )
         if cached is not None:
             return P2PCloakingResult(
                 host=host,

@@ -43,6 +43,7 @@ from repro.network.reliability import (
 from repro.network.remote_graph import RemoteGraphView
 from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
 from repro.obs import names as metric
+from repro.obs import trace as _trace
 
 _EMPTY: frozenset[int] = frozenset()
 
@@ -150,6 +151,13 @@ class P2PClusteringProtocol:
             method=self._method,
         )
         result = runner.request(host)
+        recorder = _trace._recorder
+        if recorder is not None:
+            recorder.record(
+                _trace.EVT_CLUSTER_FORMED, host=host, size=result.size,
+                from_cache=result.from_cache, fetches=view.fetched,
+                reforms=reforms,
+            )
         return ProtocolRunReport(
             result=result,
             adjacency_fetches=view.fetched,
@@ -185,7 +193,14 @@ class P2PClusteringProtocol:
                         host=host,
                         evicted=self._evicted,
                     ) from exc
-                self._evicted.add(peer)
+                if peer not in self._evicted:
+                    self._evicted.add(peer)
+                    recorder = _trace._recorder
+                    if recorder is not None:
+                        recorder.record(
+                            _trace.EVT_EVICTION, peer=peer, host=host,
+                            phase="clustering",
+                        )
                 if recording:
                     obs.inc(metric.CLUSTERING_EVICTIONS)
             except MessageDropped as exc:
@@ -219,6 +234,12 @@ class P2PClusteringProtocol:
                 )
             if recording:
                 obs.inc(metric.CLUSTERING_REFORMS)
+            recorder = _trace._recorder
+            if recorder is not None:
+                recorder.record(
+                    _trace.EVT_CLUSTER_REFORMED, host=host, reforms=reforms,
+                    evicted=len(self._evicted),
+                )
 
 
 class _MaterializingView:

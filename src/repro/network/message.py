@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 
 @dataclass(frozen=True, slots=True)
@@ -15,6 +15,10 @@ class Message:
     ...); ``payload`` is protocol-defined.  Sizes are abstract units: the
     cost model of the paper needs only the distinction between a small
     control message (size 1) and POI content (size Cr).
+
+    ``trace_id`` is the trace context of the request that caused the
+    message (None outside any request scope) — the simulator stamps it
+    so retries, replays, and aborts are attributable after the fact.
     """
 
     sender: int
@@ -22,6 +26,7 @@ class Message:
     kind: str
     payload: Any = None
     size: float = 1.0
+    trace_id: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -41,6 +46,7 @@ class MessageStats:
     dropped: int = 0
     crash_dropped: int = 0
     deduped: int = 0
+    unattributed: int = 0
     total_size: float = 0.0
     by_kind: Counter = field(default_factory=Counter)
 
@@ -49,6 +55,8 @@ class MessageStats:
         self.sent += 1
         self.total_size += message.size
         self.by_kind[message.kind] += 1
+        if message.trace_id is None:
+            self.unattributed += 1
 
     def record_drop(self, message: Message, crashed: bool = False) -> None:
         """Account one lost message (``crashed``: lost to a dead peer)."""
@@ -67,6 +75,7 @@ class MessageStats:
             "dropped": self.dropped,
             "crash_dropped": self.crash_dropped,
             "deduped": self.deduped,
+            "unattributed": self.unattributed,
             "total_size": self.total_size,
             **{f"kind:{kind}": count for kind, count in sorted(self.by_kind.items())},
         }
@@ -77,5 +86,6 @@ class MessageStats:
         self.dropped = 0
         self.crash_dropped = 0
         self.deduped = 0
+        self.unattributed = 0
         self.total_size = 0.0
         self.by_kind.clear()

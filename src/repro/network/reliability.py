@@ -35,6 +35,7 @@ from repro import obs
 from repro.errors import ConfigurationError, ProtocolError
 from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
 from repro.obs import names as metric
+from repro.obs import trace as _trace
 
 # -- abort reason codes (the complete vocabulary) ---------------------------------
 
@@ -96,10 +97,17 @@ def abort(
     """Build a :class:`ProtocolAbort`, counting it through obs.
 
     Every raise site routes through here so ``protocol.aborts`` counts
-    exactly the typed clean exits, never stray exceptions.
+    exactly the typed clean exits, never stray exceptions — and so each
+    abort lands in the flight recorder attributed to its request.
     """
     if obs.enabled():
         obs.inc(metric.PROTOCOL_ABORTS)
+    recorder = _trace._recorder
+    if recorder is not None:
+        recorder.record(
+            _trace.EVT_ABORT, reason=reason, detail=detail, host=host,
+            evicted=sorted(evicted),
+        )
     return ProtocolAbort(reason, detail, host=host, evicted=evicted)
 
 
@@ -280,6 +288,12 @@ class ReliableTransport:
                     if recording:
                         obs.inc(metric.NETWORK_RETRIES)
                         obs.inc(metric.NETWORK_BACKOFF_SECONDS, delay)
+                    recorder = _trace._recorder
+                    if recorder is not None:
+                        recorder.record(
+                            _trace.EVT_RETRY, peer=recipient, kind=kind,
+                            attempt=attempt + 1, backoff=delay,
+                        )
                 continue
             self._consecutive_failures.pop(recipient, None)
             return result
@@ -303,3 +317,6 @@ class ReliableTransport:
             self._suspected.add(peer)
             if recording:
                 obs.inc(metric.NETWORK_PEERS_SUSPECTED)
+            recorder = _trace._recorder
+            if recorder is not None:
+                recorder.record(_trace.EVT_PEER_SUSPECTED, peer=peer)

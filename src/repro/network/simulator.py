@@ -30,6 +30,7 @@ from repro.errors import ProtocolError
 from repro.network.failures import FailurePlan
 from repro.network.message import Message, MessageStats
 from repro.obs import names as metric
+from repro.obs import trace as _trace
 
 Handler = Callable[[int, Any], Any]
 
@@ -126,16 +127,24 @@ class PeerNetwork:
         if handlers is None or kind not in handlers:
             raise ProtocolError(f"peer {recipient} has no handler for {kind!r}")
         recording = obs.enabled()
+        recorder = _trace._recorder
+        trace_id = _trace._current
         if recipient in self._failures.crashed:
-            request = Message(sender, recipient, kind, payload)
+            request = Message(sender, recipient, kind, payload, trace_id=trace_id)
             self.stats.record(request)
             self.stats.record_drop(request, crashed=True)
             if recording:
                 obs.inc(metric.NETWORK_MESSAGES_SENT)
                 obs.inc(metric.NETWORK_MESSAGES_DROPPED)
                 obs.inc(metric.network_kind(kind))
+            if recorder is not None:
+                recorder.record(
+                    _trace.EVT_MESSAGE, kind=kind, sender=sender,
+                    recipient=recipient, leg="request", dropped=True,
+                    crashed=True,
+                )
             raise PeerCrashed(f"peer {recipient} is down", peer=recipient)
-        request = Message(sender, recipient, kind, payload)
+        request = Message(sender, recipient, kind, payload, trace_id=trace_id)
         self.stats.record(request)
         if recording:
             obs.inc(metric.NETWORK_MESSAGES_SENT)
@@ -144,12 +153,24 @@ class PeerNetwork:
             self.stats.record_drop(request)
             if recording:
                 obs.inc(metric.NETWORK_MESSAGES_DROPPED)
+            if recorder is not None:
+                recorder.record(
+                    _trace.EVT_MESSAGE, kind=kind, sender=sender,
+                    recipient=recipient, leg="request", dropped=True,
+                )
             raise MessageDropped(
                 f"request {kind!r} from {sender} to {recipient} lost",
                 peer=recipient,
             )
         key = None if seq is None else (sender, recipient, kind, seq)
-        if key is not None and key in self._replay:
+        deduped = key is not None and key in self._replay
+        if recorder is not None:
+            recorder.record(
+                _trace.EVT_MESSAGE, kind=kind, sender=sender,
+                recipient=recipient, leg="request", dropped=False,
+                deduped=deduped,
+            )
+        if deduped:
             result = self._replay[key]
             self.stats.record_dedup()
             if recording:
@@ -159,13 +180,20 @@ class PeerNetwork:
             if key is not None:
                 self._replay[key] = result
         response = Message(
-            recipient, sender, f"{kind}:reply", result, size=response_size
+            recipient, sender, f"{kind}:reply", result, size=response_size,
+            trace_id=trace_id,
         )
         self.stats.record(response)
         if recording:
             obs.inc(metric.NETWORK_MESSAGES_SENT)
             obs.inc(metric.network_kind(response.kind))
-        if self._failures.should_drop(recipient, sender):
+        response_dropped = self._failures.should_drop(recipient, sender)
+        if recorder is not None:
+            recorder.record(
+                _trace.EVT_MESSAGE, kind=response.kind, sender=recipient,
+                recipient=sender, leg="reply", dropped=response_dropped,
+            )
+        if response_dropped:
             self.stats.record_drop(response)
             if recording:
                 obs.inc(metric.NETWORK_MESSAGES_DROPPED)

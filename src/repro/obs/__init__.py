@@ -23,6 +23,7 @@ Inspect a saved snapshot from the shell::
 """
 
 from repro.obs import names
+from repro.obs import trace
 from repro.obs.export import (
     load_snapshot,
     prometheus_text,
@@ -49,32 +50,51 @@ from repro.obs.registry import (
     set_gauge,
 )
 from repro.obs.spans import SpanRecord, last_trace, recent_spans, reset_traces, span
+from repro.obs.trace import (
+    FlightRecorder,
+    TraceEvent,
+    current_trace_id,
+    export_jsonl,
+    get_recorder,
+    install_recorder,
+    request_scope,
+    uninstall_recorder,
+)
 
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "SECONDS_BUCKETS",
     "SpanRecord",
+    "TraceEvent",
+    "current_trace_id",
     "disable",
     "enable",
     "enabled",
+    "export_jsonl",
+    "get_recorder",
     "get_registry",
     "inc",
+    "install_recorder",
     "last_trace",
     "load_snapshot",
     "names",
     "observe",
     "prometheus_text",
     "recent_spans",
+    "request_scope",
     "reset",
     "reset_traces",
     "set_gauge",
     "snapshot",
     "span",
     "to_prometheus",
+    "trace",
+    "uninstall_recorder",
     "validate_snapshot",
     "validate_snapshot_file",
     "write_snapshot",

@@ -33,7 +33,7 @@ def _finite_or_none(value: float) -> Optional[float]:
 
 
 def _histogram_dict(metric: Histogram) -> dict:
-    return {
+    data = {
         "count": metric.count,
         "total": metric.total,
         "mean": metric.mean,
@@ -42,6 +42,17 @@ def _histogram_dict(metric: Histogram) -> dict:
         "bounds": list(metric.bounds),
         "bucket_counts": list(metric.bucket_counts),
     }
+    exemplars = {
+        str(index): {"trace_id": pair[0], "value": pair[1]}
+        for index, pair in enumerate(metric.exemplars)
+        if pair is not None
+    }
+    if exemplars:
+        data["exemplars"] = exemplars
+    tails = metric.tails()
+    if tails is not None:
+        data["tails"] = tails
+    return data
 
 
 def snapshot(registry: Optional[MetricsRegistry] = None) -> dict:

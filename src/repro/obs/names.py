@@ -28,6 +28,10 @@ CLOAKING_REGION_AREA = "cloaking.region_area"  # histogram
 
 SPAN_REQUEST = "cloaking.request"
 SPAN_REQUEST_MANY = "cloaking.request_many"
+
+# Observability self-accounting: spans evicted from the recent-trace
+# ring before inspection (truncated traces are detectable, not silent).
+OBS_SPANS_DROPPED = "obs.spans_dropped"
 SPAN_CLUSTERING = "cloaking.clustering"  # phase 1
 SPAN_BOUNDING = "cloaking.bounding"  # phase 2
 

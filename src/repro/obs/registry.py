@@ -36,9 +36,15 @@ import re
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.obs import trace as _trace
 
 #: Valid metric names: dotted lowercase segments, digits and underscores.
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+
+#: How many raw observations a tail-tracking histogram retains; within
+#: this budget the reported p50/p95/p99 are exact, beyond it the excess
+#: is counted in ``reservoir_dropped`` so approximation is detectable.
+RESERVOIR_CAPACITY = 4096
 
 #: Default histogram bucket upper bounds for second-valued observations
 #: (spans): 1 us .. ~100 s in roughly 4x steps, plus +inf implicitly.
@@ -103,11 +109,28 @@ class Histogram:
     one overflow bucket (+inf) is always appended.  Fixed buckets keep
     ``observe`` O(log B) with zero allocation, which is what lets spans
     report through here from inside the request path.
+
+    Two per-request hooks ride along:
+
+    * **exemplars** — each bucket remembers the last ``(trace_id,
+      value)`` observed under an active trace scope, so a latency bucket
+      links to a concrete inspectable trace.
+    * an optional **reservoir** (``track_tails=True``) retaining raw
+      observations up to :data:`RESERVOIR_CAPACITY`, making the reported
+      tail quantiles exact rather than bucket-interpolated.
     """
 
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "total", "min", "max",
+        "exemplars", "reservoir", "reservoir_dropped", "_bounds_arg",
+    )
 
-    def __init__(self, name: str, bounds: tuple[float, ...] = SECONDS_BUCKETS) -> None:
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = SECONDS_BUCKETS,
+        track_tails: bool = False,
+    ) -> None:
         if not bounds or any(
             b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
         ):
@@ -116,35 +139,74 @@ class Histogram:
             )
         self.name = name
         self.bounds = tuple(float(b) for b in bounds)
+        self._bounds_arg = bounds  # identity shortcut for conflict checks
         self.bucket_counts = [0] * (len(bounds) + 1)  # +1: overflow bucket
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.exemplars: list[Optional[tuple[int, float]]] = [None] * (
+            len(bounds) + 1
+        )
+        self.reservoir: Optional[list[tuple[float, Optional[int]]]] = (
+            [] if track_tails else None
+        )
+        self.reservoir_dropped = 0
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        index = bisect.bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
         self.count += 1
         self.total += value
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        trace_id = _trace._current
+        if trace_id is not None:
+            self.exemplars[index] = (trace_id, value)
+        reservoir = self.reservoir
+        if reservoir is not None:
+            if len(reservoir) < RESERVOIR_CAPACITY:
+                reservoir.append((value, trace_id))
+            else:
+                self.reservoir_dropped += 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def tails(self) -> Optional[dict]:
+        """Exact tail quantiles from the reservoir (None when untracked).
+
+        Each quantile is nearest-rank over the retained raw values and
+        carries the trace id of the observation realizing it; ``exact``
+        is False once the reservoir overflowed (quantiles then cover
+        only the first :data:`RESERVOIR_CAPACITY` observations).
+        """
+        if self.reservoir is None or not self.reservoir:
+            return None
+        ordered = sorted(self.reservoir, key=lambda pair: pair[0])
+        out: dict = {
+            "exact": self.reservoir_dropped == 0,
+            "samples": len(ordered),
+        }
+        for label, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+            rank = max(0, math.ceil(q * len(ordered)) - 1)
+            value, trace_id = ordered[min(rank, len(ordered) - 1)]
+            out[label] = {"value": value, "trace_id": trace_id}
+        return out
+
 
 class SpanStats(Histogram):
-    """Aggregated wall-time of one span name; a seconds histogram."""
+    """Aggregated wall-time of one span name; a tail-exact seconds histogram."""
 
     __slots__ = ()
 
     def __init__(self, name: str) -> None:
-        super().__init__(name, SECONDS_BUCKETS)
+        super().__init__(name, SECONDS_BUCKETS, track_tails=True)
 
 
 class MetricsRegistry:
@@ -181,12 +243,30 @@ class MetricsRegistry:
         return metric
 
     def histogram(
-        self, name: str, bounds: tuple[float, ...] = COUNT_BUCKETS
+        self,
+        name: str,
+        bounds: tuple[float, ...] = COUNT_BUCKETS,
+        track_tails: bool = False,
     ) -> Histogram:
-        """The histogram ``name``, created with ``bounds`` on first use."""
+        """The histogram ``name``, created with ``bounds`` on first use.
+
+        Re-registering a name with *different* bounds raises: a silent
+        reuse of the first caller's buckets would misfile every later
+        observation (e.g. seconds-valued data into area buckets).
+        ``track_tails`` only takes effect at creation time.
+        """
         metric = self.histograms.get(name)
         if metric is None:
-            metric = self.histograms[name] = Histogram(_check_name(name), bounds)
+            metric = self.histograms[name] = Histogram(
+                _check_name(name), bounds, track_tails=track_tails
+            )
+        elif bounds is not metric._bounds_arg and metric.bounds != tuple(
+            float(b) for b in bounds
+        ):
+            raise ConfigurationError(
+                f"histogram {name!r} re-registered with conflicting bounds: "
+                f"have {metric.bounds}, got {tuple(bounds)}"
+            )
         return metric
 
     def span_stats(self, name: str) -> SpanStats:
@@ -226,6 +306,7 @@ def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
         _active = registry
     elif _active is None:
         _active = MetricsRegistry()
+    _trace._metrics_active = True
     return _active
 
 
@@ -233,6 +314,7 @@ def disable() -> Optional[MetricsRegistry]:
     """Switch observability off; returns the registry that was active."""
     global _active
     registry, _active = _active, None
+    _trace._metrics_active = False
     return registry
 
 

@@ -52,6 +52,23 @@ def render(data: dict, top: int = 10) -> str:
                 f"{_format_seconds(hist['mean'])} "
                 f"{_format_seconds(hist['max'] or 0.0)}"
             )
+        tailed = [(name, hist) for name, hist in spans[:top] if hist.get("tails")]
+        if tailed:
+            lines.append("")
+            lines.append("tail latencies (exact quantiles from the reservoir)")
+            lines.append(
+                f"  {'span':<28} {'p50':>11} {'p95':>11} {'p99':>11}  exemplar"
+            )
+            for name, hist in tailed:
+                tails = hist["tails"]
+                row = "  " + f"{name:<28}"
+                for quantile in ("p50", "p95", "p99"):
+                    row += f" {_format_seconds(tails[quantile]['value'])}"
+                exemplar = tails["p99"].get("trace_id")
+                row += f"  trace #{exemplar}" if exemplar is not None else "  -"
+                if not tails.get("exact", True):
+                    row += "  (approx: reservoir overflowed)"
+                lines.append(row)
     counters = sorted(
         data.get("counters", {}).items(), key=lambda item: item[1], reverse=True
     )

@@ -31,6 +31,8 @@ from time import perf_counter
 from typing import Deque, Optional
 
 from repro.obs import registry as _registry
+from repro.obs import trace as _trace
+from repro.obs.names import OBS_SPANS_DROPPED
 
 #: How many completed spans the recent-trace ring retains.
 RECENT_SPAN_CAPACITY = 512
@@ -62,8 +64,10 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 # Module-level tracer state (single-threaded; see module docstring).
+# Trace ids come from the shared counter in :mod:`repro.obs.trace`, so
+# span records, flight-recorder events, and histogram exemplars all
+# correlate on one id space.
 _stack: list[tuple[str, int, float]] = []  # (name, trace_id, start)
-_next_trace_id = 0
 _recent: Deque[SpanRecord] = deque(maxlen=RECENT_SPAN_CAPACITY)
 
 
@@ -76,12 +80,17 @@ class _Span:
         self.name = name
 
     def __enter__(self) -> "_Span":
-        global _next_trace_id
         if _stack:
             trace_id = _stack[-1][1]
         else:
-            trace_id = _next_trace_id
-            _next_trace_id += 1
+            # Top-level span: adopt the enclosing request scope's trace
+            # id so the record correlates with the request's events, or
+            # start a trace of its own.  Spans never *bind* the context:
+            # only request scopes own ``_trace._current``, so an outer
+            # bookkeeping span cannot leak its id into the requests it
+            # happens to wrap.
+            current = _trace._current
+            trace_id = current if current is not None else _trace.new_trace_id()
         _stack.append((self.name, trace_id, perf_counter()))
         return self
 
@@ -94,6 +103,8 @@ class _Span:
         if active is not None:
             # Registry may have been disabled mid-span; drop silently.
             active.span_stats(name).observe(duration)
+            if len(_recent) == RECENT_SPAN_CAPACITY:
+                active.counter(OBS_SPANS_DROPPED).inc()
         _recent.append(SpanRecord(trace_id, name, depth, start, duration))
 
 
@@ -129,6 +140,7 @@ def last_trace() -> list[SpanRecord]:
 
 
 def reset_traces() -> None:
-    """Clear the recent-span ring and the (stale-proof) span stack."""
+    """Clear the recent-span ring, span stack, and trace context."""
     _recent.clear()
     _stack.clear()
+    _trace.reset_trace_context()

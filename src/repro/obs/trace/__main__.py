@@ -1,0 +1,17 @@
+"""``python -m repro.obs.trace`` — the flight-recorder inspection CLI."""
+
+import os
+import sys
+
+if __name__ == "__main__":
+    from repro.obs.trace import main
+
+    try:
+        code = main()
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: that is a clean exit,
+        # but stdout must be detached first or interpreter shutdown
+        # re-raises while flushing.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

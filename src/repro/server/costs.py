@@ -31,7 +31,11 @@ def request_cost_messages(
         obs.inc(metric.SERVER_REQUESTS)
         obs.inc(metric.SERVER_CANDIDATE_POIS, candidates)
         obs.inc(metric.SERVER_COST_MESSAGES, cost)
-        obs.observe(metric.SERVER_CANDIDATES_PER_REQUEST, candidates)
+        obs.observe(
+            metric.SERVER_CANDIDATES_PER_REQUEST,
+            candidates,
+            bounds=obs.COUNT_BUCKETS,
+        )
     return cost
 
 

@@ -35,6 +35,7 @@ from repro.network.node import populate_network
 from repro.network.reliability import ProtocolAbort, ReliabilityPolicy
 from repro.network.simulator import PeerNetwork
 from repro.obs import names as metric
+from repro.obs import trace as _trace
 from repro.verify.invariants import (
     ChurnObservation,
     P2PObservation,
@@ -187,8 +188,18 @@ def _serve_tree(built: BuiltWorld) -> TreeObservation:
     return observation
 
 
+#: Flight-recorder capacity for fuzzed worlds: far above any world's
+#: event volume, so an overflow inside a run is itself a finding.
+_FUZZ_FLIGHT_CAPACITY = 1 << 20
+
+
 def _serve_p2p(built: BuiltWorld) -> P2PObservation:
-    """Replay the same request sequence message-level, with a wire tap."""
+    """Replay the same request sequence message-level, with a wire tap.
+
+    A fresh flight recorder is active for the whole pass; the
+    ``trace-ledger-agree`` invariant reconciles its event stream against
+    the network counters and every device's disclosure ledger.
+    """
     network = PeerNetwork()
     devices = populate_network(network, built.graph, list(built.dataset.points))
     recorder = TranscriptRecorder()
@@ -207,39 +218,62 @@ def _serve_p2p(built: BuiltWorld) -> P2PObservation:
         mode="distributed",
         policy=built.world.policy,
     )
-    observation = P2PObservation(
-        results=[], recorder=recorder, devices=devices, analytic=[]
+    flight = _trace.install_recorder(
+        _trace.FlightRecorder(capacity=_FUZZ_FLIGHT_CAPACITY)
     )
-    for host in built.hosts:
-        wire = wire_error = None
-        analytic = analytic_error = None
-        try:
-            wire = session.request(host)
-        except ClusteringError as exc:
-            wire_error = str(exc)
-        try:
-            analytic = analytic_engine.request(host)
-        except ClusteringError as exc:
-            analytic_error = str(exc)
-        if (wire is None) != (analytic is None):
-            observation.mismatches.append(
-                f"host {host}: wire "
-                f"{'failed: ' + str(wire_error) if wire is None else 'succeeded'}"
-                f", analytic "
-                f"{'failed: ' + str(analytic_error) if analytic is None else 'succeeded'}"
-            )
-            continue
-        if wire is not None and analytic is not None:
-            observation.results.append(wire)
-            observation.analytic.append(analytic)
+    observation = P2PObservation(
+        results=[],
+        recorder=recorder,
+        devices=devices,
+        analytic=[],
+        flight=flight,
+        network=network,
+    )
+    try:
+        for host in built.hosts:
+            wire = wire_error = None
+            analytic = analytic_error = None
+            try:
+                wire = session.request(host)
+            except ClusteringError as exc:
+                wire_error = str(exc)
+            try:
+                analytic = analytic_engine.request(host)
+            except ClusteringError as exc:
+                analytic_error = str(exc)
+            if (wire is None) != (analytic is None):
+                observation.mismatches.append(
+                    f"host {host}: wire "
+                    f"{'failed: ' + str(wire_error) if wire is None else 'succeeded'}"
+                    f", analytic "
+                    f"{'failed: ' + str(analytic_error) if analytic is None else 'succeeded'}"
+                )
+                continue
+            if wire is not None and analytic is not None:
+                observation.results.append(wire)
+                observation.analytic.append(analytic)
+    finally:
+        _trace.uninstall_recorder()
     return observation
 
 
 def run_world(world: World) -> WorldRun:
-    """Build and serve one world, twice (determinism), plus p2p replay."""
+    """Build and serve one world, twice (determinism), plus p2p replay.
+
+    The first serving pass runs under a fresh flight recorder (stashed on
+    the :class:`WorldRun` for ``trace-ledger-agree``); the determinism
+    replay runs without one, so it also witnesses that recording does not
+    change results.
+    """
     built = build_world(world)
     with obs.span(metric.SPAN_VERIFY_WORLD):
-        engine, records, churn = _serve(built)
+        flight = _trace.install_recorder(
+            _trace.FlightRecorder(capacity=_FUZZ_FLIGHT_CAPACITY)
+        )
+        try:
+            engine, records, churn = _serve(built)
+        finally:
+            _trace.uninstall_recorder()
         _replay_engine, replay_records, _replay_churn = _serve(built)
         tree = _serve_tree(built)
         p2p = None
@@ -257,6 +291,7 @@ def run_world(world: World) -> WorldRun:
         p2p=p2p,
         churn=churn,
         tree=tree,
+        flight=flight,
     )
 
 

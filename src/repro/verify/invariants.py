@@ -33,7 +33,9 @@ from repro.graph.build import build_wpg_fast
 from repro.graph.cluster_tree import ClusterTree
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.node import UserDevice
+from repro.network.simulator import PeerNetwork
 from repro.obs import names as metric
+from repro.obs import trace as trace_mod
 from repro.verify.oracles import (
     ORACLE_MAX_VERTICES,
     oracle_bounding_box,
@@ -83,6 +85,10 @@ class P2PObservation:
     analytic: List[CloakingResult]
     #: Hosts where exactly one of the two protocols failed.
     mismatches: List[str] = field(default_factory=list)
+    #: Flight recorder active during this pass (trace-ledger-agree).
+    flight: Optional[trace_mod.FlightRecorder] = None
+    #: The network the session ran over (its stats reconcile the flight).
+    network: Optional[PeerNetwork] = None
 
 
 @dataclass(slots=True)
@@ -132,6 +138,8 @@ class WorldRun:
     p2p: Optional[P2PObservation] = None
     churn: Optional[ChurnObservation] = None
     tree: Optional[TreeObservation] = None
+    #: Flight recorder active during the FIRST serving pass only.
+    flight: Optional[trace_mod.FlightRecorder] = None
 
 
 Invariant = Callable[[WorldRun], List[str]]
@@ -781,4 +789,211 @@ def _cluster_tree_equal(run: WorldRun) -> List[str]:
                     "incrementally-patched cluster tree differs from a "
                     "fresh build over the churned graph"
                 )
+    return details
+
+
+# -- flight-recorder reconciliation -------------------------------------------------
+
+
+def _message_event_tally(events) -> tuple[int, int, int, int, Dict[tuple, int]]:
+    """Fold message events into (sent, dropped, crashed, deduped, delivered).
+
+    ``delivered`` maps ``(kind, recipient)`` to the number of request
+    legs that reached the recipient's handler — the quantity each
+    device's disclosure ledger counts.
+    """
+    sent = dropped = crashed = deduped = 0
+    delivered: Dict[tuple, int] = {}
+    for event in events:
+        if event.kind != trace_mod.EVT_MESSAGE:
+            continue
+        sent += 1
+        fields = event.fields
+        if fields.get("dropped"):
+            dropped += 1
+            if fields.get("crashed"):
+                crashed += 1
+        elif fields.get("deduped"):
+            deduped += 1
+        elif fields.get("leg") == "request":
+            key = (fields.get("kind"), fields.get("recipient"))
+            delivered[key] = delivered.get(key, 0) + 1
+    return sent, dropped, crashed, deduped, delivered
+
+
+def _reconcile_traffic(
+    events,
+    network: PeerNetwork,
+    label: str,
+) -> List[str]:
+    """Flight-recorder message events == the network's own counters."""
+    details: List[str] = []
+    stats = network.stats
+    sent, dropped, crashed, deduped, _ = _message_event_tally(events)
+    for name, from_events, from_stats in (
+        ("sent", sent, stats.sent),
+        ("dropped", dropped, stats.dropped),
+        ("crash_dropped", crashed, stats.crash_dropped),
+        ("deduped", deduped, stats.deduped),
+    ):
+        if from_events != from_stats:
+            details.append(
+                f"{label}: flight recorder saw {from_events} {name} "
+                f"message(s), network counted {from_stats}"
+            )
+    if stats.unattributed:
+        details.append(
+            f"{label}: {stats.unattributed} message(s) crossed the wire "
+            "without a trace id"
+        )
+    return details
+
+
+def _request_event_details(events, expected: int, label: str) -> List[str]:
+    """Start/end pairing and per-request trace-id uniqueness."""
+    details: List[str] = []
+    starts = [e for e in events if e.kind == trace_mod.EVT_REQUEST_START]
+    ends = [e for e in events if e.kind == trace_mod.EVT_REQUEST_END]
+    if len(starts) != expected:
+        details.append(
+            f"{label}: {len(starts)} request_start event(s) for "
+            f"{expected} request(s) served"
+        )
+    if len(ends) != len(starts):
+        details.append(
+            f"{label}: {len(starts)} request_start vs {len(ends)} "
+            "request_end event(s)"
+        )
+    distinct = {e.trace_id for e in starts}
+    if len(distinct) != len(starts):
+        details.append(
+            f"{label}: {len(starts)} request_start event(s) share only "
+            f"{len(distinct)} trace id(s)"
+        )
+    return details
+
+
+@invariant("trace-ledger-agree")
+def _trace_ledger_agree(run: WorldRun) -> List[str]:
+    """The flight-recorder stream reconciles with ledgers and counters.
+
+    Phantom events and unattributed traffic are both findings: (a) no
+    event may overflow the ring or miss a trace id; (b) request start/end
+    events pair up, one distinct trace per request; (c) message events
+    equal the network's sent/dropped/crash/dedup counters exactly, and no
+    message crosses the wire without a trace id; (d) each device's
+    disclosure ledger (handler invocations) equals the delivered
+    non-deduped request legs the flight recorder attributes to it;
+    (e) aborts, clustering evictions, retries and churn patches in the
+    stream match what the runtime actually did.
+    """
+    details: List[str] = []
+
+    flight = run.flight
+    if flight is not None:
+        events = list(flight.events())
+        if flight.dropped:
+            details.append(
+                f"first pass: flight recorder overflowed, {flight.dropped} "
+                "event(s) lost"
+            )
+        orphans = sum(1 for e in events if e.trace_id is None)
+        if orphans:
+            details.append(
+                f"first pass: {orphans} event(s) recorded without a trace id"
+            )
+        expected = len(run.records)
+        if run.churn is not None:
+            expected += len(run.churn.post_records)
+        details.extend(_request_event_details(events, expected, "first pass"))
+        aborts = sum(1 for e in events if e.kind == trace_mod.EVT_ABORT)
+        abort_records = sum(
+            1
+            for record in run.records
+            + (run.churn.post_records if run.churn is not None else [])
+            if record.error_kind == "abort"
+        )
+        if aborts != abort_records:
+            details.append(
+                f"first pass: {aborts} abort event(s) vs "
+                f"{abort_records} aborted request(s)"
+            )
+        if run.built.world.churn_moves:
+            from repro.verify.worlds import churn_schedule
+
+            batches = len(list(churn_schedule(run.built.world)))
+            patches = sum(
+                1 for e in events if e.kind == trace_mod.EVT_CHURN_PATCH
+            )
+            if patches != batches:
+                details.append(
+                    f"first pass: {patches} churn_patch event(s) for "
+                    f"{batches} applied batch(es)"
+                )
+        session = (
+            run.engine.reliable_session if run.engine is not None else None
+        )
+        if session is not None:
+            details.extend(
+                _reconcile_traffic(events, session.network, "first pass")
+            )
+            transport = session.transport
+            if transport is not None:
+                retries = sum(
+                    1 for e in events if e.kind == trace_mod.EVT_RETRY
+                )
+                if retries != transport.retries:
+                    details.append(
+                        f"first pass: {retries} retry event(s) vs "
+                        f"{transport.retries} transport retransmissions"
+                    )
+            evictions = sum(
+                1
+                for e in events
+                if e.kind == trace_mod.EVT_EVICTION
+                and e.fields.get("phase") == "clustering"
+            )
+            if evictions != len(session.evicted):
+                details.append(
+                    f"first pass: {evictions} clustering eviction event(s) "
+                    f"vs {len(session.evicted)} evicted peer(s)"
+                )
+
+    p2p = run.p2p
+    if p2p is not None and p2p.flight is not None:
+        events = list(p2p.flight.events())
+        if p2p.flight.dropped:
+            details.append(
+                f"p2p pass: flight recorder overflowed, "
+                f"{p2p.flight.dropped} event(s) lost"
+            )
+        orphans = sum(1 for e in events if e.trace_id is None)
+        if orphans:
+            details.append(
+                f"p2p pass: {orphans} event(s) recorded without a trace id"
+            )
+        # Each host is attempted twice: once over the wire, once by the
+        # analytic comparison engine — two traces per host.
+        details.extend(
+            _request_event_details(
+                events, 2 * len(run.built.hosts), "p2p pass"
+            )
+        )
+        if p2p.network is not None:
+            details.extend(
+                _reconcile_traffic(events, p2p.network, "p2p pass")
+            )
+        _, _, _, _, delivered = _message_event_tally(events)
+        for user, device in p2p.devices.items():
+            for kind, ledger in (
+                ("verify_bound", device.verify_invocations),
+                ("adjacency", device.adjacency_invocations),
+            ):
+                attributed = delivered.get((kind, user), 0)
+                if attributed != ledger:
+                    details.append(
+                        f"p2p pass: user {user} ledger counts {ledger} "
+                        f"{kind} invocation(s), flight recorder attributes "
+                        f"{attributed}"
+                    )
     return details

@@ -31,6 +31,7 @@ EXPECTED_INVARIANTS = {
     "transcript-audit",
     "churn-incremental-equal",
     "cluster-tree-equal",
+    "trace-ledger-agree",
 }
 
 
