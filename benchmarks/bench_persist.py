@@ -1,0 +1,270 @@
+"""Durable state: snapshot/restore/replay cost vs rebuild-from-scratch.
+
+Regenerates ``BENCH_persist.json``: for each population size the full
+persistence loop is exercised once —
+
+* a :class:`CloakingEngine` with persistence enabled serves requests
+  and consumes a churn schedule (every batch journaled + fsync'd before
+  mutation),
+* ``checkpoint()`` is timed (snapshot write + journal truncation) and
+  the committed snapshot's on-disk footprint recorded,
+* the tail of the schedule lands in the journal, the engine "crashes",
+  and ``CloakingEngine.restore`` is timed end to end — that is the
+  **replay** number: snapshot load + journal replay through the live
+  churn path (replay necessarily costs what the original batches cost;
+  its length is the operator's checkpoint-cadence knob),
+* the restored engine checkpoints and "crashes" again immediately —
+  that second, journal-empty restore is the **restore** number: the
+  warm-restart path a supervisor takes after a clean checkpoint,
+* the pre-persistence baseline — rebuilding ``GridIndex`` +
+  ``build_wpg_fast`` + a fresh engine from the final positions — is
+  timed for comparison, and the restored graph is checked edge-for-edge
+  against that rebuild,
+* the raw write-ahead log is microbenchmarked separately (append +
+  fsync per batch) so WAL overhead is visible in isolation instead of
+  being smeared into churn maintenance numbers.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py \
+        --users 10000 50000 --out BENCH_persist.json
+
+The output schema (``bench_persist/v1``)::
+
+    {
+      "schema": "bench_persist/v1",
+      "seed": 3, "ticks": 8, "requests": 50,
+      "sizes": [
+        {
+          "users": 10000, "delta": ..., "movers_per_tick": 100,
+          "snapshot": {"seconds": ..., "bytes": ...},
+          "journal": {
+            "batches": ..., "moves": ..., "bytes": ...,
+            "seconds": ..., "moves_per_second": ...
+          },
+          "replay": {"seconds": ..., "batches": ...},
+          "restore": {"seconds": ...},
+          "rebuild": {"seconds": ...},
+          "restore_speedup": ...,     # rebuild seconds / restore seconds
+          "graphs_equal": true        # restored graph == rebuilt graph
+        },
+        ...
+      ]
+    }
+
+The sentinel gates ``snapshot.seconds``, ``restore.seconds``,
+``restore_speedup`` and ``journal.moves_per_second`` at the largest
+population (``sizes[-1]``).  The script itself exits nonzero when any
+restored graph differs from its rebuild or when the largest size's
+``restore_speedup`` drops below 1 — restoring must beat rebuilding, or
+the subsystem has no reason to exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cloaking.engine import CloakingEngine
+from repro.config import SimulationConfig
+from repro.datasets.base import PointDataset
+from repro.datasets.california import california_like_poi
+from repro.errors import ClusteringError
+from repro.experiments.workloads import clusterable_users
+from repro.graph.build import build_wpg_fast
+from repro.persist import ChurnJournal, PersistentStore
+from repro.verify.invariants import graph_equality_details
+
+from bench_churn import make_schedule, scaled_delta
+
+MAX_PEERS = 10
+
+
+def _serve_some(engine: CloakingEngine, hosts: list[int]) -> int:
+    """Warm the region cache/registry; returns requests served."""
+    served = 0
+    for host in hosts:
+        try:
+            engine.request(host)
+        except ClusteringError:
+            continue
+        served += 1
+    return served
+
+
+def _snapshot_bytes(store: PersistentStore) -> int:
+    """On-disk footprint of the newest committed snapshot."""
+    newest = max(
+        (
+            entry
+            for entry in store.snapshots_dir.iterdir()
+            if (entry / "meta.json").exists()
+        ),
+        key=lambda entry: entry.name,
+    )
+    return sum(child.stat().st_size for child in newest.iterdir())
+
+
+def bench_size(users: int, ticks: int, requests: int, seed: int) -> dict:
+    """One full persistence loop at ``users`` population."""
+    delta = scaled_delta(users)
+    movers = max(1, users // 100)
+    config = SimulationConfig(
+        user_count=users, delta=delta, max_peers=MAX_PEERS
+    )
+    dataset = california_like_poi(users, seed=seed)
+    graph = build_wpg_fast(dataset, delta, MAX_PEERS)
+    schedule = make_schedule(dataset, ticks, movers, delta, seed)
+    pool = clusterable_users(graph, config.k)
+    hosts = [int(h) for h in pool[:requests]]
+
+    with tempfile.TemporaryDirectory(prefix="bench-persist-") as tmp:
+        engine = CloakingEngine(dataset, graph, config)
+        store = PersistentStore(Path(tmp) / "store")
+        engine.enable_persistence(store)
+        _serve_some(engine, hosts)
+        pre = max(1, ticks // 2)
+        for batch in schedule[:pre]:
+            engine.apply_moves(batch)
+
+        t0 = time.perf_counter()
+        engine.checkpoint()
+        snapshot_seconds = time.perf_counter() - t0
+        snapshot_bytes = _snapshot_bytes(store)
+
+        for batch in schedule[pre:]:
+            engine.apply_moves(batch)
+        engine.disable_persistence()  # crash 1: journal tail to replay
+
+        t0 = time.perf_counter()
+        replayed = CloakingEngine.restore(PersistentStore(Path(tmp) / "store"))
+        replay_seconds = time.perf_counter() - t0
+
+        replayed.checkpoint()
+        replayed.disable_persistence()  # crash 2: clean, journal empty
+
+        t0 = time.perf_counter()
+        restored = CloakingEngine.restore(PersistentStore(Path(tmp) / "store"))
+        restore_seconds = time.perf_counter() - t0
+        restored.disable_persistence()
+
+        positions = list(restored.dataset.points)
+        t0 = time.perf_counter()
+        rebuilt_dataset = PointDataset(positions)
+        rebuilt_graph = build_wpg_fast(rebuilt_dataset, delta, MAX_PEERS)
+        CloakingEngine(rebuilt_dataset, rebuilt_graph, config)
+        rebuild_seconds = time.perf_counter() - t0
+        graphs_equal = (
+            graph_equality_details(
+                restored.graph, rebuilt_graph, "restored", "rebuilt"
+            )
+            == []
+        )
+
+        # WAL in isolation: append + fsync per batch, no engine attached.
+        journal = ChurnJournal(Path(tmp) / "micro.wal")
+        moves = sum(len(batch) for batch in schedule)
+        journal_bytes = 0
+        t0 = time.perf_counter()
+        for index, batch in enumerate(schedule):
+            journal_bytes += journal.append(index + 1, batch)
+        journal_seconds = time.perf_counter() - t0
+        journal.close()
+
+    return {
+        "users": users,
+        "delta": delta,
+        "movers_per_tick": movers,
+        "snapshot": {
+            "seconds": round(snapshot_seconds, 4),
+            "bytes": snapshot_bytes,
+        },
+        "journal": {
+            "batches": len(schedule),
+            "moves": moves,
+            "bytes": journal_bytes,
+            "seconds": round(journal_seconds, 4),
+            "moves_per_second": round(moves / journal_seconds, 1),
+        },
+        "replay": {
+            "seconds": round(replay_seconds, 4),
+            "batches": ticks - pre,
+        },
+        "restore": {"seconds": round(restore_seconds, 4)},
+        "rebuild": {"seconds": round(rebuild_seconds, 4)},
+        "restore_speedup": round(rebuild_seconds / restore_seconds, 2),
+        "graphs_equal": graphs_equal,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--users",
+        type=int,
+        nargs="+",
+        default=[10_000, 50_000],
+        help="population sizes, ascending (default: 10000 50000)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=8, help="churn batches (default: 8)"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=50,
+        help="requests served before the checkpoint (default: 50)",
+    )
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_persist.json")
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the restore_speedup >= 1 gate (tiny smoke populations)",
+    )
+    args = parser.parse_args(argv)
+    if args.ticks < 2 or any(u < 2 for u in args.users):
+        parser.error("need --ticks >= 2 and every --users >= 2")
+
+    sizes = []
+    for users in args.users:
+        entry = bench_size(users, args.ticks, args.requests, args.seed)
+        sizes.append(entry)
+        print(
+            f"users={users}: snapshot {entry['snapshot']['seconds']}s "
+            f"({entry['snapshot']['bytes']:,} B), restore "
+            f"{entry['restore']['seconds']}s vs rebuild "
+            f"{entry['rebuild']['seconds']}s "
+            f"=> {entry['restore_speedup']}x, replay of "
+            f"{entry['replay']['batches']} batch(es) "
+            f"{entry['replay']['seconds']}s, journal "
+            f"{entry['journal']['moves_per_second']:,} moves/s, "
+            f"graphs_equal={entry['graphs_equal']}"
+        )
+
+    payload = {
+        "schema": "bench_persist/v1",
+        "seed": args.seed,
+        "ticks": args.ticks,
+        "requests": args.requests,
+        "sizes": sizes,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    clean = all(entry["graphs_equal"] for entry in sizes)
+    if not args.no_gate and sizes[-1]["restore_speedup"] < 1.0:
+        print(
+            f"GATE: restore_speedup {sizes[-1]['restore_speedup']} < 1 at "
+            f"{sizes[-1]['users']} users — restoring must beat rebuilding"
+        )
+        clean = False
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

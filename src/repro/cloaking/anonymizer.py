@@ -112,3 +112,16 @@ class CentralizedAnonymizer:
     def unclusterable(self) -> frozenset[int]:
         """Users in components too small to ever reach k-anonymity."""
         return frozenset(self._unclusterable)
+
+    def restore_partition_state(
+        self, partitioned: bool, unclusterable: frozenset[int]
+    ) -> None:
+        """Adopt a persisted partition flag (see :mod:`repro.persist`).
+
+        A restored registry already holds every registered cluster; if
+        the snapshotted anonymizer had run its one-time partition, the
+        flag must come back too — otherwise the next request would run
+        ``_partition_all`` again and double-register every group.
+        """
+        self._partitioned = bool(partitioned)
+        self._unclusterable = set(unclusterable)

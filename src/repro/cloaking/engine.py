@@ -20,17 +20,20 @@ coordinate, and the bounding protocol reveals only yes/no answers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Iterable, Literal, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Literal, Optional, Protocol, Sequence
+
+import numpy as np
 
 from repro import obs
 from repro.config import SimulationConfig
 from repro.datasets.base import MutablePointDataset, PointDataset
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PersistError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import names as metric
-from repro.clustering.base import ClusterResult
+from repro.clustering.base import ClusterRegistry, ClusterResult
 from repro.clustering.distributed import DistributedClustering
 from repro.clustering.tree import TreeClustering
 from repro.cloaking.anonymizer import CentralizedAnonymizer
@@ -38,14 +41,20 @@ from repro.cloaking.region import CloakedRegion
 from repro.bounding.boxing import optimal_bounding_box, secure_bounding_box
 from repro.bounding.policies import IncrementPolicy
 from repro.bounding.presets import paper_policy
+from repro.graph.cluster_tree import ClusterTree
 from repro.graph.incremental import ChurnPatch, IncrementalWPG
+from repro.graph.io import graph_from_arrays, graph_to_arrays
 from repro.graph.wpg import WeightedProximityGraph
 from repro.network.failures import FailurePlan
+from repro.network.ledger import export_ledgers
 from repro.network.node import populate_network
 from repro.network.reliability import ProtocolAbort, ReliabilityPolicy, resolve
 from repro.network.simulator import PeerNetwork
 from repro.obs import trace as _trace
 from repro.spatial.grid import GridIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime import)
+    from repro.persist.store import PersistentStore
 
 Mode = Literal["distributed", "centralized"]
 
@@ -159,9 +168,20 @@ class CloakingEngine:
         self._dataset = dataset
         self._graph = graph
         self._config = config
+        self._mode: Mode = mode
+        self._policy_spec = policy
         # Churn runtime (grid + incremental WPG maintainer), built lazily
         # on the first apply_moves call.
         self._churn: IncrementalWPG | None = None
+        # Snapshot arrays for a restored-but-untouched churn runtime;
+        # materialised by the first apply_moves (see _build_churn_runtime).
+        self._churn_restore: dict | None = None
+        # Durable-state attachment (see repro.persist): a store to
+        # journal move batches into and checkpoint/restore against.
+        self._store: "PersistentStore | None" = None
+        self._journal_seq = 0
+        self._replaying = False
+        self._devices = None
         self._reliable_session = self._build_reliable_session(
             mode, policy, clustering, resolve(reliability), failure_plan
         )
@@ -169,11 +189,18 @@ class CloakingEngine:
         if self._reliable_session is not None:
             # The session's protocol satisfies the registry surface the
             # batch fast path needs; requests delegate wholesale.
+            self._clustering_kind = "reliable"
             self._clustering = self._reliable_session._clustering  # type: ignore[assignment]
             self._regions = self._reliable_session.regions
             self._policy_builder = self._resolve_policy(policy)
             self._next_region_id = 0
             return
+        if clustering == "tree":
+            self._clustering_kind = "tree"
+        elif clustering is not None and not isinstance(clustering, str):
+            self._clustering_kind = "custom"
+        else:
+            self._clustering_kind = mode
         if clustering == "tree":
             self._clustering = TreeClustering(graph, config.k)
         elif isinstance(clustering, str):
@@ -231,7 +258,9 @@ class CloakingEngine:
         from repro.cloaking.p2p_engine import P2PCloakingSession
 
         network = PeerNetwork(failure_plan)
-        populate_network(network, self._graph, list(self._dataset.points))
+        self._devices = populate_network(
+            network, self._graph, list(self._dataset.points)
+        )
         return P2PCloakingSession(
             network,
             self._graph,
@@ -282,6 +311,15 @@ class CloakingEngine:
     def reliable_session(self):  # noqa: ANN201 - Optional[P2PCloakingSession]
         """The internal message-level session, when reliability is on."""
         return self._reliable_session
+
+    @property
+    def devices(self):  # noqa: ANN201 - Optional[dict[int, UserDevice]]
+        """The per-user devices of the message-level session, if any.
+
+        Their disclosure ledgers are part of the durable state: a warm
+        restart must not forget what each user already revealed.
+        """
+        return self._devices
 
     def request(self, host: int) -> CloakingResult:
         """Serve one cloaking request end to end.
@@ -516,6 +554,17 @@ class CloakingEngine:
     def _apply_moves(self, moves: list[tuple[int, Point]]) -> ChurnPatch:
         if self._churn is None:
             self._churn = self._build_churn_runtime()
+        if moves and self._store is not None and not self._replaying:
+            # Write-ahead: the batch must be durable before any live
+            # structure mutates.  Pre-validate what the maintainer would
+            # reject so an invalid batch never reaches the journal.
+            ids = [user for user, _ in moves]
+            if len(set(ids)) != len(ids):
+                raise ConfigurationError(
+                    "apply_moves got duplicate user ids in one batch"
+                )
+            self._journal_seq += 1
+            self._store.journal.append(self._journal_seq, moves)
         patch = self._churn.apply_moves(moves)
         # Clustering services that maintain derived structures over the
         # graph (the cluster tree) consume the patch's edge diffs here,
@@ -570,6 +619,23 @@ class CloakingEngine:
             )
         if not isinstance(self._dataset, MutablePointDataset):
             self._dataset = MutablePointDataset.from_dataset(self._dataset)
+        if self._churn_restore is not None:
+            # Restored engine: rebuild grid + picks through the trusted
+            # constructors from the stashed snapshot arrays.  Deferred to
+            # here so a warm restart that never churns again pays nothing
+            # — symmetric with the lazy first-move setup below.
+            stash = self._churn_restore
+            self._churn_restore = None
+            grid = GridIndex.from_export(
+                stash["grid"], cell_size=self._config.delta
+            )
+            return IncrementalWPG.restore(
+                grid,
+                self._config.delta,
+                self._config.max_peers,
+                self._graph,
+                *stash["picks"],
+            )
         grid = GridIndex(list(self._dataset), cell_size=self._config.delta)
         return IncrementalWPG(
             grid,
@@ -577,6 +643,273 @@ class CloakingEngine:
             max_peers=self._config.max_peers,
             graph=self._graph,
         )
+
+    # -- durable state (repro.persist) -----------------------------------------
+
+    @property
+    def journal_seq(self) -> int:
+        """The last journal sequence number this engine wrote (0 = none)."""
+        return self._journal_seq
+
+    def _require_persistable(self) -> None:
+        if not isinstance(self._policy_spec, str):
+            raise PersistError(
+                "a custom policy callable is not restorable — persist "
+                "engines built with a named policy preset"
+            )
+        if self._clustering_kind == "custom":
+            raise PersistError(
+                "a custom phase-1 clustering service is not restorable"
+            )
+
+    def enable_persistence(self, store: "PersistentStore") -> None:
+        """Attach a durable store: journal every future move batch.
+
+        From this call on, :meth:`apply_moves` appends each batch to the
+        store's write-ahead journal (fsync'd) *before* mutating live
+        state, and :meth:`checkpoint` rotates snapshots.  The engine's
+        configuration must be restorable — named policy, stock phase-1
+        service — or a later :meth:`restore` could not rebuild it.
+        """
+        self._require_persistable()
+        self._store = store
+
+    def disable_persistence(self) -> None:
+        """Detach the store (journal handle closed, no more appends)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def snapshot_state(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Capture the engine's full durable state as ``(arrays, meta)``.
+
+        Arrays (bit-exact numpy columns): user positions, the WPG, and —
+        once churn has started — the grid's cell buckets and the
+        incremental maintainer's directed-picks table; tree-flavored
+        engines add the cluster-tree dendrogram columns.  Meta (JSON):
+        config, engine flavor, the region cache, the cluster registry in
+        registration order, centralized partition flags, and (for
+        message-level sessions) every device's disclosure ledger.
+        """
+        self._require_persistable()
+        if self._churn is None and self._churn_restore is not None:
+            # Restored engine that never churned again: materialise the
+            # deferred runtime so the snapshot carries its arrays forward.
+            self._churn = self._build_churn_runtime()
+        arrays: dict[str, np.ndarray] = {}
+        points = self._dataset.points
+        arrays["positions"] = np.array(
+            [[p.x, p.y] for p in points], dtype=float
+        ).reshape(len(points), 2)
+        for key, value in graph_to_arrays(self._graph).items():
+            arrays[f"graph_{key}"] = value
+        has_churn = self._churn is not None
+        if has_churn:
+            for key, value in self._churn.grid.export_arrays().items():
+                arrays[f"grid_{key}"] = value
+            indptr, peers, ranks = self._churn.export_picks()
+            arrays["picks_indptr"] = indptr
+            arrays["picks_peers"] = peers
+            arrays["picks_ranks"] = ranks
+        clustering = self._clustering
+        if isinstance(clustering, TreeClustering):
+            for key, value in clustering.tree.to_state().items():
+                dtype = float if key == "weight" else np.int64
+                arrays[f"tree_{key}"] = np.asarray(value, dtype=dtype)
+        registry = clustering.registry
+        meta: dict = {
+            "engine": {
+                "mode": self._mode,
+                "policy": self._policy_spec,
+                "min_area": self._min_area,
+                "clustering": self._clustering_kind,
+                "reliability": self._reliable_session is not None,
+                "has_churn": has_churn,
+                "dataset_name": self._dataset.name,
+            },
+            "config": dataclasses.asdict(self._config),
+            "next_region_id": self._next_region_id,
+            "regions": [
+                {
+                    "members": sorted(members),
+                    "rect": [
+                        region.rect.x_min.hex(),
+                        region.rect.x_max.hex(),
+                        region.rect.y_min.hex(),
+                        region.rect.y_max.hex(),
+                    ],
+                    "cluster_id": region.cluster_id,
+                    "anonymity": region.anonymity,
+                }
+                for members, region in self._regions.items()
+            ],
+            "registry": [
+                sorted(registry.cluster_by_id(cid))
+                for cid in range(len(registry))
+            ],
+            "ledgers": export_ledgers(self._devices) if self._devices else None,
+        }
+        if isinstance(clustering, CentralizedAnonymizer):
+            meta["centralized"] = {
+                "partitioned": clustering.has_partitioned,
+                "unclusterable": sorted(clustering.unclusterable),
+            }
+        return arrays, meta
+
+    def checkpoint(self):  # noqa: ANN201 - Path, avoids top-level import
+        """Snapshot the full state, truncate the journal, prune old snapshots.
+
+        After a checkpoint the journal is empty: every recorded batch is
+        covered by the snapshot.  The snapshot is committed (atomic
+        rename) *before* truncation, and replay skips record seqs the
+        snapshot covers — so a crash anywhere inside this method loses
+        nothing.
+        """
+        if self._store is None:
+            raise PersistError(
+                "persistence is not enabled: call enable_persistence(store)"
+            )
+        with obs.span(metric.SPAN_PERSIST_CHECKPOINT):
+            arrays, meta = self.snapshot_state()
+            path = self._store.checkpoint(self._journal_seq, arrays, meta)
+        if obs.enabled():
+            obs.inc(metric.PERSIST_CHECKPOINTS)
+        return path
+
+    @classmethod
+    def restore(cls, store: "PersistentStore") -> "CloakingEngine":
+        """Rebuild an engine from the store's latest snapshot + journal.
+
+        The snapshot's arrays come back through the trusted constructors
+        (no re-rank, no re-partition, no tree rebuild); the journal's
+        surviving records — anything past the snapshot's seq, torn tail
+        discarded — replay through the live churn path.  The result is
+        bit-identical to the engine that never crashed: same graph, same
+        tree, same regions, same registry, same future behaviour.  The
+        restored engine stays attached to ``store``.
+        """
+        with obs.span(metric.SPAN_PERSIST_RESTORE):
+            arrays, meta = store.require_latest_snapshot()
+            info = meta["engine"]
+            if info["reliability"]:
+                raise PersistError(
+                    "cannot restore a reliability-mode engine: the "
+                    "message-level session is not replayable (its "
+                    "snapshots exist for disclosure-ledger audits)"
+                )
+            if info["clustering"] == "custom":
+                raise PersistError(
+                    "cannot restore a custom clustering service"
+                )
+            config = SimulationConfig(**meta["config"])
+            graph = graph_from_arrays(
+                {
+                    "vertices": arrays["graph_vertices"],
+                    "us": arrays["graph_us"],
+                    "vs": arrays["graph_vs"],
+                    "ws": arrays["graph_ws"],
+                }
+            )
+            dataset = MutablePointDataset(
+                [
+                    Point(x, y)
+                    for x, y in arrays["positions"].tolist()
+                ],
+                name=info.get("dataset_name", "dataset"),
+            )
+            registry = ClusterRegistry()
+            for members in meta["registry"]:
+                registry.register(members)
+            kind = info["clustering"]
+            if kind == "tree":
+                tree_state = {
+                    key: arrays[f"tree_{key}"].tolist()
+                    for key in (
+                        "comp_ids",
+                        "node_indptr",
+                        "parent",
+                        "weight",
+                        "size",
+                        "leaf_lo",
+                        "leaf_order",
+                        "next_id",
+                    )
+                }
+                tree = ClusterTree.from_state(graph, tree_state)
+                service: ClusteringService = TreeClustering(
+                    graph, config.k, registry=registry, tree=tree
+                )
+            elif kind == "centralized":
+                central_service = CentralizedAnonymizer(
+                    graph, config.k, registry=registry
+                )
+                central = meta["centralized"]
+                central_service.restore_partition_state(
+                    central["partitioned"],
+                    frozenset(central["unclusterable"]),
+                )
+                service = central_service
+            else:
+                service = DistributedClustering(
+                    graph, config.k, registry=registry
+                )
+            engine = cls(
+                dataset,
+                graph,
+                config,
+                mode=info["mode"],
+                policy=info["policy"],
+                min_area=info["min_area"],
+                clustering=service,
+            )
+            engine._clustering_kind = kind
+            engine._next_region_id = int(meta["next_region_id"])
+            for entry in meta["regions"]:
+                rect = Rect(*(float.fromhex(h) for h in entry["rect"]))
+                engine._regions[frozenset(entry["members"])] = CloakedRegion(
+                    rect=rect,
+                    cluster_id=int(entry["cluster_id"]),
+                    anonymity=int(entry["anonymity"]),
+                )
+            if info["has_churn"]:
+                # Stashed, not rebuilt: the first apply_moves (usually
+                # the journal replay just below) materialises the grid
+                # and picks through the trusted-path constructors, so a
+                # warm restart with an empty journal defers the cost —
+                # exactly like a fresh engine defers first-move setup.
+                engine._churn_restore = {
+                    "grid": {
+                        "coords": arrays["grid_coords"],
+                        "live": arrays["grid_live"],
+                        "bucket_indptr": arrays["grid_bucket_indptr"],
+                        "bucket_points": arrays["grid_bucket_points"],
+                    },
+                    "picks": (
+                        arrays["picks_indptr"],
+                        arrays["picks_peers"],
+                        arrays["picks_ranks"],
+                    ),
+                }
+            snapshot_seq = int(meta["journal_seq"])
+            engine._journal_seq = snapshot_seq
+            engine._store = store
+            engine._replaying = True
+            replayed = 0
+            try:
+                with obs.span(metric.SPAN_PERSIST_REPLAY):
+                    for record in store.journal.records():
+                        if record.seq <= snapshot_seq:
+                            continue
+                        engine.apply_moves(list(record.moves))
+                        engine._journal_seq = record.seq
+                        replayed += 1
+            finally:
+                engine._replaying = False
+            if obs.enabled():
+                obs.inc(metric.PERSIST_RESTORES)
+                if replayed:
+                    obs.inc(metric.PERSIST_REPLAYED_BATCHES, replayed)
+        return engine
 
     def _enforce_granularity(self, region: Rect) -> Rect:
         """Grow ``region`` until it satisfies the minimum-area metric.

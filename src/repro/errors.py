@@ -44,6 +44,18 @@ class DatasetError(ReproError):
     """A dataset could not be generated, parsed, or normalised."""
 
 
+class PersistError(ReproError):
+    """Durable state could not be written, read, or restored.
+
+    Raised by :mod:`repro.persist` for corrupt snapshots, unsupported
+    format versions, engines whose configuration is not restorable
+    (custom policy callables, message-level reliability sessions), and
+    stores with no snapshot to restore from.  A *torn journal tail* is
+    NOT an error — the write-ahead log is truncated at the first
+    incomplete record by design.
+    """
+
+
 class VerificationError(ReproError):
     """An exact oracle or transcript audit found an inconsistency.
 

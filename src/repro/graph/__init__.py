@@ -14,7 +14,12 @@ from repro.graph.components import (
     t_component,
 )
 from repro.graph.dendrogram import cut_smallest_valid
-from repro.graph.io import load_wpg, save_wpg
+from repro.graph.io import (
+    graph_from_arrays,
+    graph_to_arrays,
+    load_wpg,
+    save_wpg,
+)
 from repro.graph.metrics import (
     average_degree,
     graph_diameter,
@@ -37,6 +42,8 @@ __all__ = [
     "cut_smallest_valid",
     "external_border",
     "graph_diameter",
+    "graph_from_arrays",
+    "graph_to_arrays",
     "is_connected",
     "load_wpg",
     "max_edge_weight",

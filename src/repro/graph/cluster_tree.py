@@ -140,6 +140,49 @@ class _ComponentTree:
         #: so this memo dedupes across overlapping node partitions.
         self.refine_memo: dict[tuple[int, int], tuple[frozenset[int], ...]] = {}
 
+    @classmethod
+    def _from_arrays(
+        cls,
+        parent: list[int],
+        weight: list[float],
+        size: list[int],
+        leaf_lo: list[int],
+        leaf_order: list[int],
+    ) -> "_ComponentTree":
+        """Rebuild a component tree from its persisted preorder arrays.
+
+        Only the five stored columns are primary; everything else is
+        re-derived from the preorder layout: children are the nodes
+        naming ``i`` as parent in ascending index (the append order of
+        ``__init__``), ``leaf_hi = leaf_lo + size``, and the j-th
+        childless node in preorder owns ``leaf_order[j]`` (leaves are
+        emitted in preorder).  Memos start empty — they are caches — and
+        marked counters start at zero for the caller to re-derive.
+        """
+        tree = cls.__new__(cls)
+        tree.parent = list(parent)
+        tree.weight = list(weight)
+        tree.size = list(size)
+        tree.leaf_lo = list(leaf_lo)
+        tree.leaf_hi = [lo + sz for lo, sz in zip(leaf_lo, size)]
+        tree.leaf_order = list(leaf_order)
+        tree.children = [[] for _ in tree.parent]
+        for index, par in enumerate(tree.parent):
+            if par >= 0:
+                tree.children[par].append(index)
+        tree.leaf_node = {}
+        position = 0
+        for index, kids in enumerate(tree.children):
+            if not kids:
+                tree.leaf_node[tree.leaf_order[position]] = index
+                position += 1
+        tree.marked_below = [0] * len(tree.parent)
+        tree.cut_memo = {}
+        tree.anc_ok_memo = {}
+        tree.partition_memo = {}
+        tree.refine_memo = {}
+        return tree
+
     def leaves(self, index: int) -> list[int]:
         return self.leaf_order[self.leaf_lo[index] : self.leaf_hi[index]]
 
@@ -640,6 +683,98 @@ class ClusterTree:
         self._marked -= remark
         self.mark(remark)
         return len(stale)
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_state(self) -> dict[str, list]:
+        """The forest as flat columns (see :meth:`from_state`).
+
+        Components are emitted in dict-iteration order with their
+        original ids — both are observable (``strict_partition`` walks
+        components in insertion order; node handles embed ids), so a
+        restored tree must reproduce them exactly, not just the node
+        sets.  Per-component node columns are concatenated with a
+        ``node_indptr`` offset table; leaf columns concatenate too, with
+        each component's leaf count recoverable as its root's size.
+        """
+        comp_ids: list[int] = []
+        node_indptr: list[int] = [0]
+        parent: list[int] = []
+        weight: list[float] = []
+        size: list[int] = []
+        leaf_lo: list[int] = []
+        leaf_order: list[int] = []
+        for comp_id, tree in self._components.items():
+            comp_ids.append(comp_id)
+            parent.extend(tree.parent)
+            weight.extend(tree.weight)
+            size.extend(tree.size)
+            leaf_lo.extend(tree.leaf_lo)
+            leaf_order.extend(tree.leaf_order)
+            node_indptr.append(len(parent))
+        return {
+            "comp_ids": comp_ids,
+            "node_indptr": node_indptr,
+            "parent": parent,
+            "weight": weight,
+            "size": size,
+            "leaf_lo": leaf_lo,
+            "leaf_order": leaf_order,
+            "next_id": [self._next_id],
+        }
+
+    @classmethod
+    def from_state(
+        cls, graph: WeightedProximityGraph, state: dict[str, list]
+    ) -> "ClusterTree":
+        """Rebuild a tree captured by :meth:`to_state` over ``graph``.
+
+        ``graph`` must be the graph the state was captured against (the
+        restored engine's live graph).  The constrained Kruskal forest
+        is recomputed from the graph value — a global ascending scan
+        restricted to any component visits its edges in the same
+        relative order as the per-scope scans of incremental patching,
+        so the rebuilt forest matches the maintained one.  Marked
+        counters start empty; callers holding a registry re-mark via
+        :meth:`mark` (which skips already-marked vertices, so the
+        re-mark is idempotent).
+        """
+        tree = cls.__new__(cls)
+        tree._graph = graph
+        tree._components = {}
+        tree._component_of = {}
+        tree._marked = set()
+        tree._forest_adj = {}
+        comp_ids = [int(c) for c in state["comp_ids"]]
+        indptr = [int(i) for i in state["node_indptr"]]
+        if len(indptr) != len(comp_ids) + 1:
+            raise GraphError(
+                f"cluster-tree state: {len(comp_ids)} components but "
+                f"{len(indptr)} node offsets"
+            )
+        parent = [int(p) for p in state["parent"]]
+        weight = [float(w) for w in state["weight"]]
+        size = [int(s) for s in state["size"]]
+        leaf_lo = [int(lo) for lo in state["leaf_lo"]]
+        leaf_order = [int(v) for v in state["leaf_order"]]
+        leaf_cursor = 0
+        for position, comp_id in enumerate(comp_ids):
+            lo, hi = indptr[position], indptr[position + 1]
+            leaf_count = size[lo] if hi > lo else 0
+            component = _ComponentTree._from_arrays(
+                parent[lo:hi],
+                weight[lo:hi],
+                size[lo:hi],
+                leaf_lo[lo:hi],
+                leaf_order[leaf_cursor : leaf_cursor + leaf_count],
+            )
+            leaf_cursor += leaf_count
+            tree._components[comp_id] = component
+            for vertex in component.leaf_order:
+                tree._component_of[vertex] = comp_id
+        tree._next_id = int(state["next_id"][0])
+        tree._rebuild_forest(graph)
+        return tree
 
     # -- verification helpers --------------------------------------------------
 

@@ -141,6 +141,80 @@ class IncrementalWPG:
             self._verify_adopted(graph, us, vs, ws)
             self._graph = graph
 
+    @classmethod
+    def restore(
+        cls,
+        grid: GridIndex,
+        delta: float,
+        max_peers: int,
+        graph: WeightedProximityGraph,
+        picks_indptr: np.ndarray,
+        picks_peers: np.ndarray,
+        picks_ranks: np.ndarray,
+        model: RSSModel | None = None,
+    ) -> "IncrementalWPG":
+        """Rebuild a maintainer from a persisted picks table (trusted path).
+
+        Used by :mod:`repro.persist` during restore: the picks were
+        exported by :meth:`export_picks` from a maintainer whose graph
+        was bit-equal to ``graph`` at snapshot time, so the O(n·M)
+        re-rank and the O(E) adoption audit of ``__init__`` are skipped
+        — restore cost is the array walk below.  The grid slot table
+        must match ``picks_indptr`` hole for hole.
+        """
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if max_peers < 1:
+            raise ConfigurationError(f"max_peers must be >= 1, got {max_peers}")
+        if len(picks_indptr) != len(grid) + 1:
+            raise ConfigurationError(
+                f"picks table covers {len(picks_indptr) - 1} id slots but "
+                f"the grid indexes {len(grid)}"
+            )
+        wpg = cls.__new__(cls)
+        wpg._grid = grid
+        wpg._delta = delta
+        wpg._max_peers = max_peers
+        wpg._model = model if model is not None else IdealRSSModel()
+        _require_stateless(wpg._model)
+        peers = picks_peers.tolist()
+        ranks = picks_ranks.tolist()
+        indptr = picks_indptr.tolist()
+        picks: list[dict[int, int] | None] = []
+        for slot in range(len(grid)):
+            if grid._points[slot] is None:
+                picks.append(None)
+            else:
+                lo, hi = indptr[slot], indptr[slot + 1]
+                picks.append(dict(zip(peers[lo:hi], ranks[lo:hi])))
+        wpg._picks = picks
+        wpg._graph = graph
+        return wpg
+
+    def export_picks(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The directed picks table as CSR columns for a snapshot.
+
+        Returns ``(indptr, peers, ranks)`` with one (possibly empty)
+        segment per id slot; hole slots get empty segments and are
+        re-holed on restore from the grid's own slot table.  Peers keep
+        dict-insertion order — edge derivation only reads membership and
+        rank, so order is not observable, but keeping it makes the
+        round-trip byte-stable.
+        """
+        indptr = np.zeros(len(self._picks) + 1, dtype=np.int64)
+        peers: list[int] = []
+        ranks: list[int] = []
+        for slot, table in enumerate(self._picks):
+            if table:
+                peers.extend(table.keys())
+                ranks.extend(table.values())
+            indptr[slot + 1] = len(peers)
+        return (
+            indptr,
+            np.asarray(peers, dtype=np.int64),
+            np.asarray(ranks, dtype=np.int64),
+        )
+
     @property
     def graph(self) -> WeightedProximityGraph:
         """The maintained graph (patched in place by :meth:`apply_moves`)."""

@@ -185,12 +185,16 @@ class WeightedProximityGraph:
         return vertex in self._adjacency
 
     def __len__(self) -> int:
-        return len(self._adjacency)
+        if self._pending is not None:
+            # from_arrays graphs are dense on 0..n-1; counting them must
+            # not force the per-edge dict boxing.
+            return len(self._pending[0])
+        return len(self._adj)
 
     @property
     def vertex_count(self) -> int:
         """Number of vertices."""
-        return len(self._adjacency)
+        return len(self)
 
     @property
     def edge_count(self) -> int:

@@ -10,6 +10,7 @@ paper lists as future work (Section VII).
 from repro.network.message import Message, MessageStats
 from repro.network.simulator import MessageDropped, PeerCrashed, PeerNetwork
 from repro.network.node import UserDevice, populate_network
+from repro.network.ledger import export_ledgers, import_ledgers
 from repro.network.failures import FailurePlan
 from repro.network.latency import (
     LatencyModel,
@@ -45,5 +46,7 @@ __all__ = [
     "bounding_run_latency",
     "cloaking_latency",
     "clustering_latency",
+    "export_ledgers",
+    "import_ledgers",
     "populate_network",
 ]

@@ -1,0 +1,67 @@
+"""Disclosure-ledger persistence.
+
+Each :class:`~repro.network.node.UserDevice` keeps a ledger — handler
+invocation counts plus the set of bound hypotheses it has answered (its
+entire one-bit-per-hypothesis disclosure).  A warm restart must carry
+those ledgers across the crash: a device rebuilt at zero would let the
+reconciliation audits under-count what a user already revealed before
+the restart.
+
+The export is JSON-safe.  Bound values are binary64 floats encoded with
+:meth:`float.hex` so the round-trip is bit-exact — a question answered
+before the crash and re-asked after it must land on the *same* set
+element, not a near-duplicate that double-counts the disclosure.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PersistError
+from repro.network.node import UserDevice
+
+#: Schema tag stamped on every export.
+LEDGER_FORMAT = "device-ledgers-v1"
+
+
+def export_ledgers(devices: dict[int, UserDevice]) -> dict:
+    """All device ledgers as one JSON-safe document."""
+    entries = {}
+    for user_id in sorted(devices):
+        device = devices[user_id]
+        entries[str(user_id)] = {
+            "verify": device.verify_invocations,
+            "adjacency": device.adjacency_invocations,
+            "questions": sorted(
+                [axis, float(sign).hex(), float(bound).hex()]
+                for axis, sign, bound in device.questions_answered
+            ),
+        }
+    return {"format": LEDGER_FORMAT, "devices": entries}
+
+
+def import_ledgers(devices: dict[int, UserDevice], document: dict) -> None:
+    """Restore :func:`export_ledgers` output onto rebuilt ``devices``.
+
+    Every exported user must exist in ``devices`` — a missing device
+    would silently drop recorded disclosure, so it is a
+    :class:`~repro.errors.PersistError` instead.
+    """
+    if document.get("format") != LEDGER_FORMAT:
+        raise PersistError(
+            f"unsupported ledger format {document.get('format')!r} "
+            f"(expected {LEDGER_FORMAT!r})"
+        )
+    for key, entry in document["devices"].items():
+        user_id = int(key)
+        device = devices.get(user_id)
+        if device is None:
+            raise PersistError(
+                f"ledger for user {user_id} has no device to restore onto"
+            )
+        device.restore_ledger(
+            entry["verify"],
+            entry["adjacency"],
+            {
+                (int(axis), float.fromhex(sign), float.fromhex(bound))
+                for axis, sign, bound in entry["questions"]
+            },
+        )

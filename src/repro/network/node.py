@@ -67,6 +67,25 @@ class UserDevice:
         """
         return frozenset(self._questions)
 
+    def restore_ledger(
+        self,
+        verify_invocations: int,
+        adjacency_invocations: int,
+        questions: "frozenset[tuple[int, float, float]] | set[tuple[int, float, float]]",
+    ) -> None:
+        """Adopt a persisted disclosure ledger (see :mod:`repro.network.ledger`).
+
+        A freshly constructed device starts at zero; a warm restart must
+        carry the pre-crash disclosure forward or the reconciliation
+        audits would under-count what the user has already revealed.
+        """
+        self._verify_invocations = int(verify_invocations)
+        self._adjacency_invocations = int(adjacency_invocations)
+        self._questions = {
+            (int(axis), float(sign), float(bound))
+            for axis, sign, bound in questions
+        }
+
     def attach(self, network: PeerNetwork) -> None:
         """Register this device's handlers on ``network``."""
         network.register(self._id, "adjacency", self._handle_adjacency)

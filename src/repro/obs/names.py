@@ -56,6 +56,25 @@ SPAN_CHURN_APPLY = "engine.churn.apply_moves"
 SPAN_CHURN_GRID = "engine.churn.grid_patch"  # grid move + dirty-set discovery
 SPAN_CHURN_WPG = "engine.churn.wpg_patch"  # re-rank + edge diff
 
+# -- durable state (repro.persist) -------------------------------------------------
+
+#: Move batches appended to the write-ahead churn journal.
+PERSIST_JOURNAL_RECORDS = "persist.journal_records"
+#: Bytes fsync'd into the journal (framing included).
+PERSIST_JOURNAL_BYTES = "persist.journal_bytes"
+#: Snapshots written by checkpoint().
+PERSIST_CHECKPOINTS = "persist.checkpoints"
+#: Engines restored from a snapshot (+ journal replay).
+PERSIST_RESTORES = "persist.restores"
+#: Journal batches replayed during restore.
+PERSIST_REPLAYED_BATCHES = "persist.replayed_batches"
+#: Journals found with a torn/corrupt tail (discarded suffix).
+PERSIST_TORN_TAILS = "persist.torn_tails"
+
+SPAN_PERSIST_CHECKPOINT = "persist.checkpoint"
+SPAN_PERSIST_RESTORE = "persist.restore"
+SPAN_PERSIST_REPLAY = "persist.replay"
+
 # -- clustering (phase 1 internals) ----------------------------------------------
 
 CLUSTERING_REQUESTS = "clustering.requests"

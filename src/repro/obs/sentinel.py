@@ -62,9 +62,10 @@ class TrackedMetric:
     higher_is_better: bool
 
 
-#: Gated metrics per bench schema.  ``bench_wpg/v3`` metrics read from
-#: the largest population entry (``sizes[-1]``); ``bench_churn/v2``
-#: metrics read from the document root.
+#: Gated metrics per bench schema.  ``bench_wpg/v3`` and
+#: ``bench_persist/v1`` metrics read from the largest population entry
+#: (``sizes[-1]``); ``bench_churn/v2`` metrics read from the document
+#: root.
 TRACKED: dict[str, tuple[TrackedMetric, ...]] = {
     "bench_wpg/v3": (
         TrackedMetric("build.fast_seconds", ("build", "fast_seconds"), False),
@@ -95,6 +96,16 @@ TRACKED: dict[str, tuple[TrackedMetric, ...]] = {
         ),
         TrackedMetric("tree.request_speedup", ("tree", "request_speedup"), True),
     ),
+    "bench_persist/v1": (
+        TrackedMetric("snapshot.seconds", ("snapshot", "seconds"), False),
+        TrackedMetric("restore.seconds", ("restore", "seconds"), False),
+        TrackedMetric("restore_speedup", ("restore_speedup",), True),
+        TrackedMetric(
+            "journal.moves_per_second",
+            ("journal", "moves_per_second"),
+            True,
+        ),
+    ),
 }
 
 
@@ -112,10 +123,10 @@ def extract_metrics(data: dict) -> tuple[str, dict[str, float]]:
             f"unsupported bench schema {schema!r} (sentinel tracks: {known})"
         )
     root = data
-    if schema == "bench_wpg/v3":
+    if schema in ("bench_wpg/v3", "bench_persist/v1"):
         sizes = data.get("sizes") or []
         if not sizes:
-            raise ValueError("bench_wpg document has no sizes[] entries")
+            raise ValueError(f"{schema} document has no sizes[] entries")
         root = sizes[-1]
     metrics: dict[str, float] = {}
     for tracked in TRACKED[schema]:

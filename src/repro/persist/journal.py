@@ -1,0 +1,170 @@
+"""The write-ahead churn journal.
+
+An append-only log of move batches, written and fsync'd *before* the
+engine mutates any live structure.  Frame format, after a one-line
+header::
+
+    u32 payload length | u32 crc32(payload) | payload (UTF-8 JSON)
+
+Each payload is ``{"seq": n, "moves": [[id, x_hex, y_hex], ...]}`` —
+coordinates as :meth:`float.hex` strings, so a replayed move lands on
+bit-identical binary64 positions.  ``seq`` increases monotonically
+across the engine's lifetime (it does NOT reset at checkpoint
+truncation), which makes replay idempotent: a snapshot records the last
+seq it covers, and restore skips any journal record at or below it —
+closing the crash window between "snapshot written" and "journal
+truncated".
+
+A *torn tail* — an incomplete or CRC-failing suffix, the record being
+appended when the process died — is expected, reported, and discarded;
+everything before it is intact because appends are the only writes.  A
+corrupt *header* means the file is not a journal at all and raises
+:class:`~repro.errors.PersistError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.errors import PersistError
+from repro.geometry.point import Point
+from repro.obs import names as metric
+
+_HEADER = b"repro churn journal v1\n"
+_FRAME = struct.Struct("<II")
+
+
+@dataclass(frozen=True, slots=True)
+class JournalRecord:
+    """One recovered move batch: its seq and the decoded moves."""
+
+    seq: int
+    moves: tuple[tuple[int, Point], ...]
+
+
+class ChurnJournal:
+    """Append-only move-batch log at ``path`` (see module docstring)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle = None
+
+    @property
+    def path(self) -> Path:
+        """The journal file's location."""
+        return self._path
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "ab")
+            if self._handle.tell() == 0:
+                self._handle.write(_HEADER)
+        return self._handle
+
+    def append(self, seq: int, moves) -> int:
+        """Durably append one batch; returns bytes written.
+
+        ``moves`` is a sequence of ``(user id, Point)`` pairs.  The
+        record is flushed and fsync'd before returning — once this
+        method returns, the batch survives a crash.
+        """
+        payload = json.dumps(
+            {
+                "seq": int(seq),
+                "moves": [
+                    [int(user), point.x.hex(), point.y.hex()]
+                    for user, point in moves
+                ],
+            },
+            separators=(",", ":"),
+        ).encode()
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        handle = self._ensure_open()
+        handle.write(frame)
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+        written = len(frame) + len(payload)
+        if obs.enabled():
+            obs.inc(metric.PERSIST_JOURNAL_RECORDS)
+            obs.inc(metric.PERSIST_JOURNAL_BYTES, written)
+        return written
+
+    def records(self) -> list[JournalRecord]:
+        """Every intact record, in append order (torn tail discarded)."""
+        self.close()
+        if not self._path.exists():
+            return []
+        data = self._path.read_bytes()
+        if not data:
+            return []
+        if not _HEADER.startswith(data[: len(_HEADER)]):
+            raise PersistError(f"{self._path}: not a churn journal")
+        if len(data) < len(_HEADER):
+            # The process died inside the very first header write.
+            self._note_torn()
+            return []
+        out: list[JournalRecord] = []
+        offset = len(_HEADER)
+        torn = False
+        while offset < len(data):
+            if offset + _FRAME.size > len(data):
+                torn = True
+                break
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            payload = data[start : start + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                torn = True
+                break
+            try:
+                record = json.loads(payload)
+                moves = tuple(
+                    (
+                        int(user),
+                        Point(float.fromhex(x), float.fromhex(y)),
+                    )
+                    for user, x, y in record["moves"]
+                )
+                out.append(JournalRecord(int(record["seq"]), moves))
+            except (ValueError, KeyError, TypeError):
+                # CRC passed but the payload is not ours — treat as torn
+                # only if it is the last frame; mid-file it means the
+                # file was tampered with, which we refuse to guess at.
+                if start + length >= len(data):
+                    torn = True
+                    break
+                raise PersistError(
+                    f"{self._path}: undecodable record at byte {offset}"
+                )
+            offset = start + length
+        if torn:
+            self._note_torn()
+        return out
+
+    @staticmethod
+    def _note_torn() -> None:
+        if obs.enabled():
+            obs.inc(metric.PERSIST_TORN_TAILS)
+
+    def truncate(self) -> None:
+        """Discard every record (after a checkpoint made them redundant)."""
+        self.close()
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self._path, "wb") as handle:
+            handle.write(_HEADER)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily by the next append)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

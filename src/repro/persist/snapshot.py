@@ -1,0 +1,98 @@
+"""Atomic snapshot directories: ``state.npz`` + ``meta.json``.
+
+A snapshot is one directory holding the array-shaped state as an
+uncompressed ``.npz`` (bit-exact binary64/int64 columns) and the
+JSON-shaped state (config fingerprint, region cache, registries,
+ledgers, the journal seq the snapshot covers) as ``meta.json``.
+
+Write protocol: both files land under temporary names, are fsync'd,
+then renamed — ``meta.json`` strictly last.  Its presence is the commit
+marker, so :func:`read_snapshot` (and the store's latest-snapshot scan)
+can never observe a half-written snapshot: a crash mid-write leaves a
+directory without ``meta.json``, which readers skip and rotation
+deletes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PersistError
+
+#: Format tag stamped into every ``meta.json``.
+SNAPSHOT_FORMAT = "repro-snapshot-v1"
+
+
+def _fsync_write(path: Path, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def write_snapshot(
+    directory: str | Path,
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+) -> Path:
+    """Atomically materialise a snapshot at ``directory``.
+
+    ``meta`` is stamped with the format tag; floats inside it must
+    already be in an exactness-preserving encoding (json round-trips
+    binary64 through ``repr``, which Python guarantees is exact).
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    state_bytes = buffer.getvalue()
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "state_sha256": hashlib.sha256(state_bytes).hexdigest(),
+        **meta,
+    }
+    tmp_state = target / "state.npz.tmp"
+    tmp_meta = target / "meta.json.tmp"
+    _fsync_write(tmp_state, state_bytes)
+    _fsync_write(tmp_meta, json.dumps(document, sort_keys=True).encode())
+    os.replace(tmp_state, target / "state.npz")
+    os.replace(tmp_meta, target / "meta.json")
+    return target
+
+
+def read_snapshot(directory: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a committed snapshot; raises :class:`PersistError` otherwise."""
+    target = Path(directory)
+    meta_path = target / "meta.json"
+    state_path = target / "state.npz"
+    if not meta_path.exists():
+        raise PersistError(f"{target}: no committed snapshot (meta.json missing)")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except ValueError as exc:
+        raise PersistError(f"{meta_path}: corrupt snapshot metadata") from exc
+    if meta.get("format") != SNAPSHOT_FORMAT:
+        raise PersistError(
+            f"{meta_path}: unsupported snapshot format "
+            f"{meta.get('format')!r} (expected {SNAPSHOT_FORMAT!r})"
+        )
+    if not state_path.exists():
+        raise PersistError(f"{target}: snapshot arrays missing (state.npz)")
+    state_bytes = state_path.read_bytes()
+    expected = meta.get("state_sha256")
+    if expected is not None:
+        digest = hashlib.sha256(state_bytes).hexdigest()
+        if digest != expected:
+            raise PersistError(
+                f"{state_path}: snapshot arrays corrupt "
+                f"(sha256 {digest[:12]}..., recorded {expected[:12]}...)"
+            )
+    with np.load(io.BytesIO(state_bytes)) as bundle:
+        arrays = {key: bundle[key].copy() for key in bundle.files}
+    return arrays, meta

@@ -1,0 +1,129 @@
+"""One directory binding journal + snapshot rotation together.
+
+Layout under ``root``::
+
+    journal.wal            the write-ahead churn log
+    snapshots/<seq>/       one committed snapshot per checkpoint,
+                           named by the journal seq it covers
+
+:meth:`PersistentStore.checkpoint` is the full rotation — write the
+snapshot, truncate the journal, prune old snapshots — but its two
+halves (:meth:`write_snapshot` / :meth:`truncate_journal`) are exposed
+separately so the crash suite can die *between* them and prove the
+monotonic-seq replay guard covers that window.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PersistError
+from repro.persist.journal import ChurnJournal
+from repro.persist import snapshot as snapshot_io
+
+#: Snapshots kept after pruning (the newest plus one fallback).
+KEEP_SNAPSHOTS = 2
+
+
+class PersistentStore:
+    """Durable home of one engine's state (see module docstring)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._journal = ChurnJournal(self._root / "journal.wal")
+
+    @property
+    def root(self) -> Path:
+        """The store's directory."""
+        return self._root
+
+    @property
+    def journal(self) -> ChurnJournal:
+        """The write-ahead churn log."""
+        return self._journal
+
+    @property
+    def snapshots_dir(self) -> Path:
+        """Where committed snapshots live."""
+        return self._root / "snapshots"
+
+    # -- checkpoint halves (separable for crash-window tests) ----------------
+
+    def write_snapshot(
+        self, seq: int, arrays: dict[str, np.ndarray], meta: dict
+    ) -> Path:
+        """Commit a snapshot covering journal records up to ``seq``."""
+        directory = self.snapshots_dir / f"{seq:012d}"
+        return snapshot_io.write_snapshot(
+            directory, arrays, {**meta, "journal_seq": int(seq)}
+        )
+
+    def truncate_journal(self) -> None:
+        """Drop every journal record (they are covered by a snapshot)."""
+        self._journal.truncate()
+
+    def prune(self, keep: int = KEEP_SNAPSHOTS) -> int:
+        """Delete all but the newest ``keep`` committed snapshots.
+
+        Uncommitted directories (no ``meta.json`` — a crash mid-write)
+        are always removed.  Returns the number of directories deleted.
+        """
+        base = self.snapshots_dir
+        if not base.exists():
+            return 0
+        committed: list[Path] = []
+        removed = 0
+        for entry in sorted(base.iterdir()):
+            if (entry / "meta.json").exists():
+                committed.append(entry)
+            else:
+                _rmtree(entry)
+                removed += 1
+        for stale in committed[:-keep] if keep else committed:
+            _rmtree(stale)
+            removed += 1
+        return removed
+
+    def checkpoint(
+        self, seq: int, arrays: dict[str, np.ndarray], meta: dict
+    ) -> Path:
+        """Snapshot + journal truncation + pruning, in that order."""
+        path = self.write_snapshot(seq, arrays, meta)
+        self.truncate_journal()
+        self.prune()
+        return path
+
+    # -- restore side --------------------------------------------------------
+
+    def latest_snapshot(self) -> tuple[dict[str, np.ndarray], dict] | None:
+        """The newest committed snapshot, or None if there is none."""
+        base = self.snapshots_dir
+        if not base.exists():
+            return None
+        for entry in sorted(base.iterdir(), reverse=True):
+            if (entry / "meta.json").exists():
+                return snapshot_io.read_snapshot(entry)
+        return None
+
+    def require_latest_snapshot(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Like :meth:`latest_snapshot` but a typed error when empty."""
+        found = self.latest_snapshot()
+        if found is None:
+            raise PersistError(f"{self._root}: no snapshot to restore from")
+        return found
+
+    def close(self) -> None:
+        """Release the journal's append handle."""
+        self._journal.close()
+
+
+def _rmtree(path: Path) -> None:
+    for child in sorted(path.iterdir(), reverse=True):
+        if child.is_dir():
+            _rmtree(child)
+        else:
+            child.unlink()
+    path.rmdir()

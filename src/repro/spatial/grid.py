@@ -212,6 +212,94 @@ class GridIndex:
         self._coords_buf = coords
         self._cell_ids_buf = cell_ids
 
+    # -- persistence ----------------------------------------------------------
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """The index as plain numpy arrays (snapshot form).
+
+        Returns ``coords`` (``(n, 2)`` float, NaN at hole slots),
+        ``live`` (``(n,)`` bool mask — the authoritative hole marker),
+        and the CSR cell buckets ``bucket_indptr``/``bucket_points``
+        exactly as :meth:`cell_bucket_arrays` reports them, so a restore
+        can skip the regroup.  Everything is copied: mutating the live
+        index never corrupts a snapshot already taken.
+        """
+        n = len(self._points)
+        coords = np.full((n, 2), np.nan, dtype=float)
+        live = np.zeros(n, dtype=bool)
+        for idx, point in enumerate(self._points):
+            if point is not None:
+                coords[idx, 0] = point.x
+                coords[idx, 1] = point.y
+                live[idx] = True
+        bucket_indptr, bucket_points = self.cell_bucket_arrays()
+        return {
+            "coords": coords,
+            "live": live,
+            "bucket_indptr": bucket_indptr.copy(),
+            "bucket_points": bucket_points.copy(),
+        }
+
+    @classmethod
+    def from_export(
+        cls,
+        arrays: dict[str, np.ndarray],
+        cell_size: float,
+        bounds: Rect | None = None,
+    ) -> "GridIndex":
+        """Rebuild an index from :meth:`export_arrays` output.
+
+        The restored index answers every query identically to the
+        exported one — id holes included — and adopts the exported cell
+        buckets directly, so no regroup runs on first batch query.
+        ``cell_size``/``bounds`` must match the exported index's (they
+        are not part of the array payload; callers persist them in their
+        own metadata).
+        """
+        coords = np.asarray(arrays["coords"], dtype=float)
+        live = np.asarray(arrays["live"], dtype=bool)
+        n = len(coords)
+        if coords.ndim != 2 or coords.shape[1] != 2 or live.shape != (n,):
+            raise ConfigurationError(
+                f"malformed grid export: coords {coords.shape}, "
+                f"live {live.shape}"
+            )
+        index = cls([], cell_size, bounds=bounds)
+        index._points = [
+            Point(float(coords[i, 0]), float(coords[i, 1])) if live[i] else None
+            for i in range(n)
+        ]
+        index._live = int(live.sum())
+        bucket_indptr = np.asarray(arrays["bucket_indptr"], dtype=np.int64)
+        bucket_points = np.asarray(arrays["bucket_points"], dtype=np.int64)
+        if (
+            len(bucket_indptr) != index._nx * index._ny + 1
+            or len(bucket_points) != index._live
+        ):
+            raise ConfigurationError(
+                "grid export disagrees with cell_size/bounds: "
+                f"{len(bucket_indptr) - 1} buckets for a "
+                f"{index._nx}x{index._ny} grid, {len(bucket_points)} "
+                f"bucketed points for {index._live} live"
+            )
+        buf = coords.copy()
+        cell_ids = np.full(n, -1, dtype=np.int64)
+        if index._live:
+            live_ids = np.flatnonzero(live)
+            cx, cy = index._cell_coords(buf[live_ids, 0], buf[live_ids, 1])
+            cell_ids[live_ids] = cx * index._ny + cy
+        index._coords_buf = buf
+        index._cell_ids_buf = cell_ids
+        bucket_counts = np.diff(bucket_indptr)
+        bucket_coords = np.ascontiguousarray(buf[bucket_points].T)
+        index._buckets = (
+            bucket_counts,
+            bucket_indptr,
+            bucket_points,
+            bucket_coords,
+        )
+        return index
+
     def _cells_overlapping(self, rect: Rect) -> Iterable[tuple[int, int]]:
         lo_x, lo_y = self._cell_of(Point(rect.x_min, rect.y_min))
         hi_x, hi_y = self._cell_of(Point(rect.x_max, rect.y_max))

@@ -997,3 +997,182 @@ def _trace_ledger_agree(run: WorldRun) -> List[str]:
                         f"{attributed}"
                     )
     return details
+
+
+# -- durable state (repro.persist) --------------------------------------------------
+
+
+def _serve_outcomes(engine: CloakingEngine, hosts) -> list:
+    """Canonical per-host outcomes, via the batch fast path when clean.
+
+    ``request_many`` is attempted first (it is the production batch
+    surface and exercises the registry/region fast path a restored
+    engine must reproduce); worlds containing unservable hosts fall back
+    to per-host requests so typed clean failures become comparable
+    outcomes instead of aborting the whole batch.
+    """
+    try:
+        results = engine.request_many(list(hosts))
+    except Exception:
+        outcomes = []
+        for host in hosts:
+            try:
+                r = engine.request(host)
+                outcomes.append(
+                    (
+                        "ok",
+                        tuple(sorted(r.cluster.members)),
+                        r.region.rect,
+                        r.region.anonymity,
+                        r.region_from_cache,
+                    )
+                )
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        return outcomes
+    return [
+        (
+            "ok",
+            tuple(sorted(r.cluster.members)),
+            r.region.rect,
+            r.region.anonymity,
+            r.region_from_cache,
+        )
+        for r in results
+    ]
+
+
+def _engine_state_diffs(
+    restored: CloakingEngine, reference: CloakingEngine, label: str
+) -> List[str]:
+    """Bit-level state comparison: graph, regions, registry, tree."""
+    details = graph_equality_details(
+        restored.graph, reference.graph, f"{label} restored", "reference"
+    )
+    if restored.cached_regions() != reference.cached_regions():
+        details.append(f"{label}: cached region maps differ")
+    reg_a = restored.clustering.registry
+    reg_b = reference.clustering.registry
+    clusters_a = [sorted(reg_a.cluster_by_id(c)) for c in range(len(reg_a))]
+    clusters_b = [sorted(reg_b.cluster_by_id(c)) for c in range(len(reg_b))]
+    if clusters_a != clusters_b:
+        details.append(
+            f"{label}: registries differ ({len(clusters_a)} vs "
+            f"{len(clusters_b)} clusters)"
+        )
+    tree_a = getattr(restored.clustering, "tree", None)
+    tree_b = getattr(reference.clustering, "tree", None)
+    if tree_a is not None and tree_b is not None:
+        if sorted(tree_a.node_signatures()) != sorted(tree_b.node_signatures()):
+            details.append(f"{label}: cluster-tree node signatures differ")
+    if restored.dataset.points != reference.dataset.points:
+        details.append(f"{label}: dataset positions differ")
+    return details
+
+
+@invariant("snapshot-replay-equal")
+def _snapshot_replay_equal(run: WorldRun) -> List[str]:
+    """Crash anywhere, restore, and the engine is bit-identical.
+
+    A self-contained differential replay per world: a persisted engine
+    and an uninterrupted reference serve the same requests and consume
+    the same churn schedule.  The persisted engine checkpoints at
+    seeded-random batch indices and "crashes" at a seeded-random point
+    (sometimes with garbage bytes torn onto the journal tail); the
+    engine restored from its store must match the reference bit for bit
+    — graph, cached regions, registry, tree signatures, request_many
+    answers — both at the crash point and after the two engines consume
+    the remainder of the schedule side by side.
+    """
+    world = run.built.world
+    if world.faulty or world.p2p:
+        return []  # reliability sessions are not replayable by design
+    import random as _random
+    import tempfile
+
+    from repro.datasets.base import MutablePointDataset
+    from repro.persist import PersistentStore
+    from repro.verify.worlds import churn_schedule
+
+    built = run.built
+    rng = _random.Random(world.seed + 50423)
+    use_tree = world.radio == "ideal" and rng.random() < 0.4
+
+    def make() -> CloakingEngine:
+        dataset = MutablePointDataset.from_dataset(built.dataset)
+        graph = built.graph.copy()
+        if use_tree:
+            return CloakingEngine(
+                dataset, graph, built.config,
+                clustering="tree", policy=world.policy,
+            )
+        return CloakingEngine(
+            dataset, graph, built.config,
+            mode=world.mode, policy=world.policy,
+        )
+
+    details: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="persist-fuzz-") as tmp:
+        store = PersistentStore(tmp)
+        live = make()
+        reference = make()
+        live.enable_persistence(store)
+
+        first_live = _serve_outcomes(live, built.hosts)
+        first_ref = _serve_outcomes(reference, built.hosts)
+        if first_live != first_ref:
+            # Not a persistence property; bail out with the real finding.
+            return ["twin engines diverged before any crash was simulated"]
+
+        batches = list(churn_schedule(world)) if world.churn_moves else []
+        crash_idx = rng.randint(0, len(batches))
+        checkpoints: set = set()
+        if crash_idx:
+            checkpoints = {rng.randrange(crash_idx)}
+            if rng.random() < 0.5:
+                checkpoints.add(rng.randrange(crash_idx))
+        elif rng.random() < 0.5:
+            live.checkpoint()  # static world: checkpoint right after serving
+        else:
+            live.checkpoint()
+            live.checkpoint()  # rotation: restore must pick the newest
+
+        for index in range(crash_idx):
+            live.apply_moves(batches[index])
+            reference.apply_moves(batches[index])
+            if index in checkpoints:
+                live.checkpoint()
+
+        # Crash: abandon the live engine; sometimes tear garbage onto the
+        # journal tail (a record cut mid-write must be discarded cleanly).
+        live.disable_persistence()
+        if rng.random() < 0.3:
+            with open(store.journal.path, "ab") as handle:
+                handle.write(b"\x99\x00\x00\x00torn")
+
+        restored = CloakingEngine.restore(PersistentStore(tmp))
+        details.extend(_engine_state_diffs(restored, reference, "at crash"))
+        after_live = _serve_outcomes(restored, built.hosts)
+        after_ref = _serve_outcomes(reference, built.hosts)
+        if after_live != after_ref:
+            details.append(
+                "restored engine answers request_many differently at the "
+                "crash point"
+            )
+
+        for index in range(crash_idx, len(batches)):
+            restored.apply_moves(batches[index])
+            reference.apply_moves(batches[index])
+        if crash_idx < len(batches):
+            details.extend(
+                _engine_state_diffs(restored, reference, "post-crash churn")
+            )
+            final_live = _serve_outcomes(restored, built.hosts)
+            final_ref = _serve_outcomes(reference, built.hosts)
+            if final_live != final_ref:
+                details.append(
+                    "restored engine diverged from the reference after "
+                    "consuming the post-crash churn schedule"
+                )
+        restored.disable_persistence()
+    return details

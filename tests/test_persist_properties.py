@@ -1,0 +1,184 @@
+"""Round-trip identity properties for every persisted structure.
+
+Hypothesis drives the export/import pairs the snapshot subsystem is
+built from — :meth:`GridIndex.export_arrays` / ``from_export``,
+:meth:`ClusterTree.to_state` / ``from_state``, and
+:func:`graph_to_arrays` / :func:`graph_from_arrays` — over randomly
+generated worlds (:func:`repro.verify.worlds.world_strategy`), random
+mutation sequences (so id holes from removals and post-churn states are
+covered), and sparse non-dense vertex-id graphs.  Every round trip must
+be an identity, bit for bit: same queries, same signatures, same float
+weights.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.datasets.base import PointDataset
+from repro.errors import ConfigurationError, GraphError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.graph import graph_from_arrays, graph_to_arrays
+from repro.graph.build import build_wpg_fast
+from repro.graph.cluster_tree import ClusterTree
+from repro.graph.incremental import IncrementalWPG
+from repro.spatial.grid import GridIndex
+from repro.verify.invariants import graph_equality_details
+from repro.verify.worlds import build_world, churn_schedule, world_strategy
+
+import pytest
+
+coordinate = st.floats(0.0, 1.0, allow_nan=False, width=32)
+coordinate_pair = st.tuples(coordinate, coordinate)
+
+
+def _grids_equal(grid: GridIndex, clone: GridIndex) -> None:
+    assert clone.live_count == grid.live_count
+    assert sorted(clone.live_ids()) == sorted(grid.live_ids())
+    probe = Rect(0.1, 0.9, 0.1, 0.9)
+    assert sorted(clone.query_rect(probe)) == sorted(grid.query_rect(probe))
+    for pid in grid.live_ids():
+        assert clone.point(pid) == grid.point(pid)
+        assert clone.query_radius(grid.point(pid), 0.2) == grid.query_radius(
+            grid.point(pid), 0.2
+        )
+
+
+class TestGridRoundTrip:
+    @given(st.data())
+    def test_mutated_grid_round_trips(self, data):
+        initial = data.draw(
+            st.lists(coordinate_pair, min_size=2, max_size=14), label="initial"
+        )
+        cell = data.draw(st.sampled_from([0.09, 0.17, 0.33]), label="cell")
+        grid = GridIndex([Point(x, y) for x, y in initial], cell_size=cell)
+        for _ in range(data.draw(st.integers(0, 12), label="ops")):
+            live = sorted(grid.live_ids())
+            op = data.draw(
+                st.sampled_from(
+                    ["insert", "move", "move"]
+                    + (["remove"] if len(live) > 1 else [])
+                ),
+                label="op",
+            )
+            if op == "insert":
+                x, y = data.draw(coordinate_pair, label="at")
+                grid.insert(Point(x, y))
+            elif op == "remove":
+                grid.remove(data.draw(st.sampled_from(live), label="rm"))
+            else:
+                x, y = data.draw(coordinate_pair, label="to")
+                grid.move(data.draw(st.sampled_from(live), label="mv"), Point(x, y))
+
+        clone = GridIndex.from_export(grid.export_arrays(), cell_size=cell)
+        _grids_equal(grid, clone)
+        # The clone keeps working: it is a live index, not a read replica.
+        new_id = clone.insert(Point(0.5, 0.5))
+        assert new_id == grid.insert(Point(0.5, 0.5))
+        _grids_equal(grid, clone)
+
+    def test_shape_mismatch_rejected(self):
+        grid = GridIndex([Point(0.1, 0.2), Point(0.3, 0.4)], cell_size=0.2)
+        arrays = grid.export_arrays()
+        arrays["live"] = arrays["live"][:1]
+        with pytest.raises(ConfigurationError):
+            GridIndex.from_export(arrays, cell_size=0.2)
+
+
+class TestClusterTreeRoundTrip:
+    @settings(deadline=None, max_examples=40)
+    @given(world_strategy(max_users=30))
+    def test_world_tree_round_trips(self, world):
+        built = build_world(world)
+        graph = built.graph.copy()
+        tree = ClusterTree(graph)
+        state = tree.to_state()
+        clone = ClusterTree.from_state(graph, state)
+        assert sorted(clone.node_signatures()) == sorted(
+            tree.node_signatures()
+        )
+        assert clone.to_state() == state
+
+    @settings(deadline=None, max_examples=20)
+    @given(world_strategy(max_users=30))
+    def test_post_churn_tree_round_trips(self, world):
+        # The churn runtime only adopts graphs from stateless radios.
+        assume(world.radio == "ideal")
+        built = build_world(world)
+        graph = built.graph.copy()
+        tree = ClusterTree(graph)
+        grid = GridIndex(list(built.dataset), cell_size=world.delta)
+        runtime = IncrementalWPG(
+            grid, delta=world.delta, max_peers=world.max_peers, graph=graph
+        )
+        # built.world has n normalised to the realised dataset size.
+        for batch in churn_schedule(built.world):
+            tree.apply_patch(runtime.apply_moves(batch))
+        state = tree.to_state()
+        clone = ClusterTree.from_state(graph, state)
+        assert sorted(clone.node_signatures()) == sorted(
+            tree.node_signatures()
+        )
+        assert clone.to_state() == state
+
+    def test_malformed_state_rejected(self):
+        graph = build_wpg_fast(
+            PointDataset([Point(0.1, 0.1), Point(0.12, 0.1), Point(0.5, 0.5)]),
+            0.1,
+            4,
+        )
+        tree = ClusterTree(graph)
+        state = tree.to_state()
+        bad = dict(state)
+        bad["node_indptr"] = state["node_indptr"][:-1]
+        with pytest.raises(GraphError):
+            ClusterTree.from_state(graph, bad)
+
+
+class TestGraphArraysRoundTrip:
+    @settings(deadline=None, max_examples=40)
+    @given(world_strategy(max_users=30))
+    def test_world_graph_round_trips(self, world):
+        built = build_world(world)
+        arrays = graph_to_arrays(built.graph)
+        clone = graph_from_arrays(arrays)
+        details = graph_equality_details(clone, built.graph, "clone", "graph")
+        assert not details, details
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.integers(0, 40)),
+            max_size=30,
+        ),
+        st.lists(st.integers(0, 60), min_size=1, max_size=8),
+    )
+    def test_sparse_vertex_ids_round_trip(self, pairs, extra_vertices):
+        """Non-dense ids (holes from departures) take the from_edges path."""
+        from repro.graph.wpg import WeightedProximityGraph
+
+        edges = {}
+        for u, v in pairs:
+            if u != v:
+                # Weights that exercise float bit-exactness.
+                edges[(min(u, v), max(u, v))] = (u + 0.1) * (v + 0.7) / 9.0
+        graph = WeightedProximityGraph.from_edges(
+            [(u, v, w) for (u, v), w in edges.items()],
+            vertices=extra_vertices,
+        )
+        clone = graph_from_arrays(graph_to_arrays(graph))
+        details = graph_equality_details(clone, graph, "clone", "graph")
+        assert not details, details
+
+    def test_mismatched_columns_rejected(self):
+        import numpy as np
+
+        with pytest.raises(GraphError):
+            graph_from_arrays(
+                {
+                    "vertices": np.array([0, 1, 2]),
+                    "us": np.array([0]),
+                    "vs": np.array([1, 2]),
+                    "ws": np.array([0.5]),
+                }
+            )

@@ -56,6 +56,46 @@ class TestWPGRoundtrip:
         with pytest.raises(GraphError):
             load_wpg(path)
 
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(GraphError, match="empty"):
+            load_wpg(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "future.csv"
+        path.write_text("# wpg v2\n# isolated:\nu,v,weight\n0,1,0.5\n")
+        with pytest.raises(GraphError, match="v2"):
+            load_wpg(path)
+
+    def test_missing_isolated_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# wpg v1\nu,v,weight\n0,1,0.5\n")
+        with pytest.raises(GraphError):
+            load_wpg(path)
+
+    def test_malformed_column_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# wpg v1\n# isolated:\nsource,target,w\n0,1,0.5\n")
+        with pytest.raises(GraphError):
+            load_wpg(path)
+
+    def test_duplicate_edge_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "# wpg v1\n# isolated:\nu,v,weight\n0,1,0.5\n1,0,0.6\n"
+        )
+        with pytest.raises(GraphError, match="duplicate"):
+            load_wpg(path)
+
+    def test_malformed_row_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "# wpg v1\n# isolated:\nu,v,weight\n0,1,0.5\n2,3\n"
+        )
+        with pytest.raises(GraphError, match=":5:"):
+            load_wpg(path)
+
     def test_clustering_identical_on_loaded_graph(self, tmp_path):
         """The acid test: algorithms behave identically on a reloaded WPG."""
         from repro.experiments.workloads import sample_hosts

@@ -32,6 +32,7 @@ EXPECTED_INVARIANTS = {
     "churn-incremental-equal",
     "cluster-tree-equal",
     "trace-ledger-agree",
+    "snapshot-replay-equal",
 }
 
 
