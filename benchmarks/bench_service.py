@@ -1,0 +1,398 @@
+"""Sharded service: saturation latency and the worker-count scaling curve.
+
+Regenerates ``BENCH_service.json``: the same synthetic population is
+served through :class:`~repro.service.CloakingService` at each worker
+count (default 1, 2, 4) and three things are measured —
+
+* a **cold sequential pass** over distinct clusterable hosts: every
+  request clusters and bounds from scratch, so this is the cloak
+  throughput number.  The full outcome transcript is captured and the
+  ``sharded_equals_single`` gate requires it (plus the merged registry
+  and region cache) to be bit-identical at every worker count;
+* a **saturation pass** over the now-warm caches: a small pool of
+  client threads issues requests back-to-back at maximum rate (closed
+  loop at saturation — a true open loop at a fixed rate either idles or
+  diverges on a shared box, while max-rate closed loop *is* the
+  saturation point), recording per-request p50/p95/p99 latency and any
+  typed overloads;
+* a **churn pass**: a few full barrier ticks (drain → state sync →
+  broadcast → reroute), timed per tick.
+
+**Methodology on a 1-CPU container.**  Worker processes timeshare one
+core, so wall-clock cannot show multicore scaling no matter how real
+the parallelism is.  Each worker meters its own busy time per op
+(``time.process_time``), and the headline metric is **capacity
+throughput**: ``requests / max(per-worker busy CPU seconds)`` — the
+makespan the fleet would have on dedicated cores, measured rather than
+modelled, since the workers are real processes doing the real work.
+Wall numbers and ``cpu_count`` are recorded alongside so a multi-core
+runner can confirm the curve with wall clocks.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --users 50000 --workers 1 2 4 --out BENCH_service.json
+
+The output schema (``bench_service/v1``) puts the scaling summary at
+the document root::
+
+    {
+      "schema": "bench_service/v1",
+      "users": 50000, "cpu_count": ..., "requests": ..., ...
+      "workers": [
+        {"shards": 1, "cold": {...}, "saturation": {...}, "churn": {...}},
+        ...
+      ],
+      "single": {"capacity_rps": ..., "latency_p95_ms": ...},
+      "scaling": {"capacity_speedup_2": ..., "capacity_speedup_4": ...},
+      "sharded_equals_single": true
+    }
+
+The sentinel gates ``scaling.capacity_speedup_*``,
+``single.capacity_rps`` and ``single.latency_p95_ms``.  The script
+itself exits nonzero when any transcript diverges from the single-worker
+one (``sharded_equals_single`` — never waived), or when a capacity
+speedup falls below its ``--gates`` threshold (waivable with
+``--no-gate`` for tiny smoke populations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ServiceOverload
+from repro.service import CloakingService, ServiceSpec
+from repro.service.shards import ShardMap, route_users
+
+from bench_churn import scaled_delta
+
+MAX_PEERS = 10
+K = 5
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The q-quantile (0 < q <= 1) of ``samples`` by rank."""
+    ranked = sorted(samples)
+    index = max(0, math.ceil(q * len(ranked)) - 1)
+    return ranked[index]
+
+
+def pick_hosts(spec: ServiceSpec, count: int, max_shards: int) -> list[int]:
+    """``count`` distinct clusterable hosts, stratified by owning slab.
+
+    Requests route to the shard owning the host's *component anchor*, so
+    a balanced benchmark stream must draw evenly across the slabs of the
+    finest shard map measured — a naive id-ordered sample can land
+    almost entirely on one worker and measure queueing, not cloaking.
+    Within each slab the picks are evenly spaced; slabs short on
+    clusterable hosts are topped up round-robin from the others.
+    """
+    from repro.experiments.workloads import clusterable_users
+    from repro.service.spec import materialize
+
+    dataset, graph, config = materialize(spec)
+    pool = clusterable_users(graph, config.k)
+    if len(pool) < count:
+        raise SystemExit(
+            f"population too sparse: only {len(pool)} clusterable users, "
+            f"need {count} (lower --requests or raise --users)"
+        )
+    table = route_users(graph, dataset.points, ShardMap(max_shards, config.delta))
+    buckets: dict[int, list[int]] = {}
+    for host in pool:
+        buckets.setdefault(table[int(host)], []).append(int(host))
+    queues = []
+    for slab in sorted(buckets):
+        members = buckets[slab]
+        step = max(1, len(members) // max(1, count // len(buckets)))
+        queues.append(iter(members[::step] + members[1::step]))
+    hosts: list[int] = []
+    taken = set()
+    while len(hosts) < count and queues:
+        exhausted = []
+        for queue in queues:
+            host = next(queue, None)
+            if host is None:
+                exhausted.append(queue)
+            elif host not in taken:
+                taken.add(host)
+                hosts.append(host)
+                if len(hosts) == count:
+                    break
+        queues = [q for q in queues if q not in exhausted]
+    return hosts
+
+
+def cold_pass(service: CloakingService, hosts: list[int]) -> tuple[dict, list]:
+    """Sequential cold serving: throughput + the equality transcript."""
+    service.reset_worker_stats()
+    t0 = time.perf_counter()
+    transcript = [service.request(host) for host in hosts]
+    wall = time.perf_counter() - t0
+    busy = [s["busy_cpu"] for s in service.worker_stats()]
+    makespan = max(busy)
+    return (
+        {
+            "requests": len(hosts),
+            "wall_seconds": round(wall, 4),
+            "wall_rps": round(len(hosts) / wall, 1),
+            "busy_cpu": [round(b, 4) for b in busy],
+            "busy_cpu_max": round(makespan, 4),
+            "capacity_rps": round(len(hosts) / makespan, 1),
+        },
+        transcript,
+    )
+
+
+def saturation_pass(
+    service: CloakingService, hosts: list[int], requests: int, clients: int
+) -> dict:
+    """Max-rate closed-loop load from ``clients`` threads, warm caches."""
+    latencies: list[float] = []
+    overloads = 0
+    lock = threading.Lock()
+    cursor = iter(range(requests))
+
+    def client() -> None:
+        nonlocal overloads
+        own: list[float] = []
+        own_overloads = 0
+        while True:
+            with lock:
+                index = next(cursor, None)
+            if index is None:
+                break
+            host = hosts[index % len(hosts)]
+            t0 = time.perf_counter()
+            try:
+                service.request(host)
+            except ServiceOverload:
+                own_overloads += 1
+                continue
+            own.append((time.perf_counter() - t0) * 1000.0)
+        with lock:
+            latencies.extend(own)
+            overloads += own_overloads
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    return {
+        "requests": requests,
+        "clients": clients,
+        "wall_seconds": round(wall, 4),
+        "wall_rps": round(len(latencies) / wall, 1),
+        "overloads": overloads,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p95": round(percentile(latencies, 0.95), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(max(latencies), 3),
+        },
+    }
+
+
+def churn_pass(
+    service: CloakingService, users: int, ticks: int, seed: int
+) -> dict:
+    """A few full churn barriers (drain, sync, broadcast, reroute)."""
+    rng = random.Random(seed + 4099)
+    movers = max(1, users // 100)
+    tick_seconds = []
+    halo = 0
+    for _ in range(ticks):
+        batch = [
+            (user, rng.random(), rng.random())
+            for user in rng.sample(range(users), movers)
+        ]
+        t0 = time.perf_counter()
+        summary = service.apply_moves(batch)
+        tick_seconds.append(time.perf_counter() - t0)
+        halo += sum(summary["halo_refreshes"])
+    return {
+        "ticks": ticks,
+        "movers_per_tick": movers,
+        "seconds_per_tick": round(sum(tick_seconds) / len(tick_seconds), 4),
+        "halo_refreshes": halo,
+    }
+
+
+def bench_worker_count(
+    spec: ServiceSpec,
+    shards: int,
+    hosts: list[int],
+    saturation: int,
+    clients: int,
+    ticks: int,
+    seed: int,
+) -> tuple[dict, tuple]:
+    """One full measurement at ``shards`` workers.
+
+    Returns the result entry plus the equality surface: (transcript,
+    registry set, region map) — captured *before* the churn pass so
+    every worker count is compared over identical state.
+    """
+    users = spec.source["synthetic"]["users"]
+    with CloakingService(spec.with_shards(shards)) as service:
+        cold, transcript = cold_pass(service, hosts)
+        surface = (
+            transcript,
+            service.registry_clusters(),
+            service.cached_regions(),
+        )
+        entry = {
+            "shards": shards,
+            "cold": cold,
+            "saturation": saturation_pass(service, hosts, saturation, clients),
+            "churn": churn_pass(service, users, ticks, seed),
+        }
+    return entry, surface
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--users", type=int, default=50_000)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4],
+        help="worker counts for the scaling curve (default: 1 2 4)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=400,
+        help="distinct cold requests per worker count (default: 400)",
+    )
+    parser.add_argument(
+        "--saturation",
+        type=int,
+        default=1200,
+        help="warm saturation requests per worker count (default: 1200)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="client threads (default: 4)"
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=2, help="churn barriers timed (default: 2)"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--kind", choices=("california", "uniform"), default="california")
+    parser.add_argument(
+        "--delta-scale",
+        type=float,
+        default=0.5,
+        help="multiplier on the churn bench's scaled delta (default: "
+        "0.5 — at full scale the 50k california WPG percolates into one "
+        "giant component, and a component is the routing unit: it is "
+        "owned whole by a single worker, so nothing can scale)",
+    )
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--gates",
+        type=float,
+        nargs="*",
+        default=[1.5, 2.5],
+        help="minimum capacity speedup per non-single worker count, in "
+        "order (default: 1.5 2.5 for workers 2 and 4)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="skip the speedup gates (tiny smoke populations); the "
+        "transcript-equality gate always applies",
+    )
+    args = parser.parse_args(argv)
+    if args.workers[0] != 1 or sorted(set(args.workers)) != args.workers:
+        parser.error("--workers must be ascending, distinct, starting at 1")
+
+    delta = scaled_delta(args.users) * args.delta_scale
+    spec = ServiceSpec.synthetic(
+        users=args.users,
+        seed=args.seed,
+        kind=args.kind,
+        delta=delta,
+        max_peers=MAX_PEERS,
+        k=K,
+        shards=1,
+    )
+    hosts = pick_hosts(spec, args.requests, max(args.workers))
+
+    entries: list[dict] = []
+    surfaces: dict[int, tuple] = {}
+    for shards in args.workers:
+        entry, surfaces[shards] = bench_worker_count(
+            spec, shards, hosts, args.saturation, args.clients,
+            args.ticks, args.seed,
+        )
+        entries.append(entry)
+        print(
+            f"workers={shards}: cold {entry['cold']['capacity_rps']:,} "
+            f"req/s capacity ({entry['cold']['wall_rps']:,} wall), warm "
+            f"p95 {entry['saturation']['latency_ms']['p95']} ms, "
+            f"{entry['saturation']['overloads']} overloads, churn "
+            f"{entry['churn']['seconds_per_tick']}s/tick"
+        )
+
+    equal = all(surfaces[n] == surfaces[1] for n in args.workers)
+    single = entries[0]
+    scaling = {
+        f"capacity_speedup_{entry['shards']}": round(
+            entry["cold"]["capacity_rps"] / single["cold"]["capacity_rps"], 2
+        )
+        for entry in entries[1:]
+    }
+    payload = {
+        "schema": "bench_service/v1",
+        "users": args.users,
+        "seed": args.seed,
+        "kind": args.kind,
+        "delta": delta,
+        "k": K,
+        "max_peers": MAX_PEERS,
+        "requests": args.requests,
+        "cpu_count": os.cpu_count(),
+        "workers": entries,
+        "single": {
+            "capacity_rps": single["cold"]["capacity_rps"],
+            "latency_p95_ms": single["saturation"]["latency_ms"]["p95"],
+        },
+        "scaling": scaling,
+        "sharded_equals_single": equal,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}: scaling {scaling}, equal={equal}")
+
+    clean = equal
+    if not equal:
+        print(
+            "GATE: sharded_equals_single is false — some worker count "
+            "answered differently from the single engine"
+        )
+    if not args.no_gate:
+        for entry, floor in zip(entries[1:], args.gates):
+            speedup = scaling[f"capacity_speedup_{entry['shards']}"]
+            if speedup < floor:
+                print(
+                    f"GATE: capacity speedup {speedup} at "
+                    f"{entry['shards']} workers is below the {floor}x floor"
+                )
+                clean = False
+    return 0 if clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ import numpy as np
 from repro import obs
 from repro.config import SimulationConfig
 from repro.datasets.base import MutablePointDataset, PointDataset
-from repro.errors import ConfigurationError, PersistError
+from repro.errors import ClusteringError, ConfigurationError, PersistError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import names as metric
@@ -525,6 +525,69 @@ class CloakingEngine:
             obs.inc(metric.CLOAKING_REGIONS_INVALIDATED, dropped)
             obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, 0)
         return dropped
+
+    def adopt_cluster(self, members: Iterable[int]) -> bool:
+        """Adopt a cluster another replica of this engine formed.
+
+        The sharded service keeps one engine replica per worker process;
+        requests for different WPG components commute, so replicas may
+        form clusters independently between synchronisation barriers and
+        exchange them here.  Registers the cluster (reciprocity-checked)
+        and feeds any clustering service that maintains derived state —
+        the cluster tree marks the adopted members' leaves exactly as if
+        it had formed the cluster itself.
+
+        Returns True when newly registered, False when this exact
+        cluster is already present (idempotent re-sync).  A *conflicting*
+        overlap — some member assigned to a different cluster — raises
+        :class:`~repro.errors.ClusteringError`: two replicas that formed
+        different clusters over shared users were never replicas at all.
+        """
+        group = frozenset(members)
+        if not group:
+            raise ClusteringError("cannot adopt an empty cluster")
+        registry = self._clustering.registry
+        assigned = {v: registry.cluster_of(v) for v in group}
+        existing = {c for c in assigned.values() if c is not None}
+        if existing:
+            if existing == {group} and all(
+                c is not None for c in assigned.values()
+            ):
+                return False
+            raise ClusteringError(
+                f"adopted cluster {sorted(group)[:5]}... conflicts with "
+                f"existing assignments"
+            )
+        registry.register(group)
+        adopt = getattr(self._clustering, "adopt", None)
+        if adopt is not None:
+            adopt(group)
+        return True
+
+    def adopt_region(
+        self, members: Iterable[int], rect: Rect, anonymity: int
+    ) -> bool:
+        """Seed the region cache with a region another replica bounded.
+
+        Companion of :meth:`adopt_cluster` for the second phase: the
+        cloaked region is a pure function of the cluster's member
+        positions, so a replica can cache a peer's region verbatim and
+        serve subsequent same-cluster requests as cache hits — exactly
+        the answers a single-process engine would give.  Returns True
+        when the entry was added, False when the cluster already has a
+        cached region (idempotent re-sync; the existing region wins, as
+        both were computed from identical positions).
+        """
+        key = frozenset(members)
+        if key in self._regions:
+            return False
+        self._regions[key] = CloakedRegion(
+            rect=rect, cluster_id=self._next_region_id, anonymity=anonymity
+        )
+        self._next_region_id += 1
+        if obs.enabled():
+            obs.set_gauge(metric.CLOAKING_REGIONS_CACHED, len(self._regions))
+        return True
 
     def apply_moves(self, moves: Sequence[tuple[int, Point]]) -> ChurnPatch:
         """Move a batch of users and bring the engine's world up to date.

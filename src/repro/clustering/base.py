@@ -151,6 +151,15 @@ class ClusterRegistry:
             self._assignment[vertex] = cluster_id
         return cluster_id
 
+    def clusters(self, start: int = 0) -> Iterator[frozenset[int]]:
+        """Iterate clusters in registration order, from id ``start``.
+
+        The sharded service's replica-sync barrier uses the suffix form
+        (``start`` = the id watermark of the last sync) to export only
+        the clusters formed since.
+        """
+        yield from self._clusters[start:]
+
     def cluster_of(self, vertex: int) -> Optional[frozenset[int]]:
         """The registered cluster of ``vertex``, or None if unassigned."""
         cluster_id = self._assignment.get(vertex)

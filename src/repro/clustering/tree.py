@@ -38,7 +38,7 @@ fuzz invariant cross-validates the two services record for record.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro import obs
 from repro.errors import ClusteringError, ConfigurationError
@@ -131,6 +131,16 @@ class TreeClustering:
         if result is None:
             result = self._fallback_request(host)
         return result
+
+    def adopt(self, members: Iterable[int]) -> None:
+        """Mark members of an externally registered cluster.
+
+        The engine's replica-sync path (``CloakingEngine.adopt_cluster``)
+        registers the cluster in the shared registry and then calls this
+        hook so the tree's marked-leaf bookkeeping matches what it would
+        be had this service formed the cluster itself.
+        """
+        self._tree.mark(members)
 
     def apply_churn_patch(self, patch: ChurnPatch) -> int:
         """Consume a churn patch: re-derive the disturbed component trees.

@@ -56,6 +56,45 @@ class PersistError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The sharded cloaking service failed outside any single request.
+
+    Raised by :mod:`repro.service` for unsupported configurations (a
+    clustering flavor whose global state cannot be served shard-locally),
+    dead or unresponsive shard workers, and requests routed to a worker
+    that does not own the host.
+    """
+
+
+class ServiceOverload(ServiceError):
+    """The service's bounded admission queue is full.
+
+    Explicit backpressure: a request arriving while the configured
+    number of requests is already in flight is *rejected* with this
+    typed error — never silently dropped, never left to queue unboundedly.
+    Clients are expected to retry after backoff.
+    """
+
+
+class WireFormatError(ServiceError):
+    """A wire frame violated the length-prefixed JSON protocol.
+
+    Covers frames whose declared length exceeds the hard cap
+    (:class:`FrameTooLarge`), connections that end mid-frame
+    (:class:`TruncatedFrame`), payloads that are not valid JSON objects,
+    and frames missing required fields.  A connection ending *between*
+    frames is a clean close, not an error.
+    """
+
+
+class FrameTooLarge(WireFormatError):
+    """A frame declared a length beyond the protocol's hard cap."""
+
+
+class TruncatedFrame(WireFormatError):
+    """The peer vanished in the middle of a length-prefixed frame."""
+
+
 class VerificationError(ReproError):
     """An exact oracle or transcript audit found an inconsistency.
 

@@ -1,0 +1,153 @@
+"""Length-prefixed JSON frames: the service's wire format.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding a single object.  The format is
+deliberately boring: it survives any stream transport (TCP, Unix socket
+pairs between the dispatcher and its shard workers), needs no external
+dependency, and every field is inspectable with ``xxd`` when a wire bug
+needs chasing.
+
+Robustness contract (exercised by ``tests/test_service_protocol.py``):
+
+* a declared length beyond ``max_bytes`` raises
+  :class:`~repro.errors.FrameTooLarge` *before* any payload is read, so
+  a hostile 4 GiB declaration cannot make a reader allocate;
+* a connection that ends mid-frame raises
+  :class:`~repro.errors.TruncatedFrame`;
+* a connection that ends cleanly *between* frames reads as ``None``;
+* payloads that are not valid JSON, or valid JSON that is not an
+  object, raise :class:`~repro.errors.WireFormatError`.
+
+Every frame the service sends carries a ``trace`` field (the
+dispatcher's trace id), so one request's spans correlate across the
+process boundary — see :func:`stamp_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import FrameTooLarge, TruncatedFrame, WireFormatError
+from repro.obs import trace as _trace
+
+#: Hard cap on a frame's payload, generous enough for a 50k-user churn
+#: batch or ownership table but far below anything a hostile length
+#: prefix could demand.
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(payload: dict, max_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Serialise one frame (length prefix + JSON body)."""
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_bytes:
+        raise FrameTooLarge(
+            f"frame of {len(body)} bytes exceeds the {max_bytes}-byte cap"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse a frame body; typed errors for non-JSON and non-objects."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise WireFormatError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on immediate EOF, raises mid-read."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise TruncatedFrame(
+                f"connection closed {remaining} byte(s) short of a "
+                f"{count}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket, max_bytes: int = DEFAULT_MAX_FRAME
+) -> Optional[dict]:
+    """Read one frame from a blocking socket.
+
+    Returns ``None`` on a clean close (EOF at a frame boundary).  All
+    other failure shapes raise a :class:`~repro.errors.WireFormatError`
+    subclass — see the module docstring for the full contract.
+    """
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > max_bytes:
+        error = FrameTooLarge(
+            f"frame declares {length} bytes, cap is {max_bytes}"
+        )
+        error.declared = length  # lets the reader resync, see discard_frame
+        raise error
+    body = _recv_exact(sock, length) if length else b""
+    if body is None and length:
+        raise TruncatedFrame("connection closed after the length prefix")
+    return decode_payload(body or b"")
+
+
+def discard_frame(sock: socket.socket, length: int) -> None:
+    """Consume and drop ``length`` payload bytes to resync after an
+    oversized declaration.
+
+    A shard worker must never die because one frame was bad: after
+    :class:`~repro.errors.FrameTooLarge` (whose ``declared`` attribute
+    carries the offending length) the reader replies with a typed error,
+    discards exactly the declared bytes, and picks up at the next frame
+    boundary.  EOF mid-discard raises :class:`TruncatedFrame`.
+    """
+    remaining = length
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise TruncatedFrame(
+                f"connection closed {remaining} byte(s) into discarding an "
+                f"oversized {length}-byte frame"
+            )
+        remaining -= len(chunk)
+
+
+def send_frame(
+    sock: socket.socket, payload: dict, max_bytes: int = DEFAULT_MAX_FRAME
+) -> int:
+    """Encode and send one frame; returns the bytes written."""
+    data = encode_frame(payload, max_bytes)
+    sock.sendall(data)
+    return len(data)
+
+
+def stamp_trace(payload: dict) -> dict:
+    """Attach the current trace id to an outgoing frame (in place).
+
+    When no trace scope is active the frame is left unstamped — a frame
+    without ``trace`` is legal, it just won't correlate.
+    """
+    trace_id = _trace.current_trace_id()
+    if trace_id is not None:
+        payload["trace"] = trace_id
+    return payload

@@ -26,6 +26,7 @@ from repro.obs import names
 from repro.obs import trace
 from repro.obs.export import (
     load_snapshot,
+    merge_snapshots,
     prometheus_text,
     snapshot,
     to_prometheus,
@@ -82,6 +83,7 @@ __all__ = [
     "install_recorder",
     "last_trace",
     "load_snapshot",
+    "merge_snapshots",
     "names",
     "observe",
     "prometheus_text",

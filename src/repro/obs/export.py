@@ -112,6 +112,101 @@ def load_snapshot(path: Union[str, Path]) -> dict:
     return data
 
 
+def _merge_histograms(name: str, docs: list[dict]) -> dict:
+    """Fold several per-process images of one histogram into one."""
+    first = docs[0]
+    bounds = first.get("bounds", [])
+    for doc in docs[1:]:
+        if doc.get("bounds", []) != bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} has conflicting bucket bounds across "
+                f"snapshots: {bounds} vs {doc.get('bounds')}"
+            )
+    buckets = [0] * (len(bounds) + 1)
+    count = 0
+    total = 0.0
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    exemplars: dict[str, dict] = {}
+    for doc in docs:
+        count += doc.get("count", 0)
+        total += doc.get("total", 0.0)
+        for index, bucket in enumerate(doc.get("bucket_counts", [])):
+            buckets[index] += bucket
+        if doc.get("min") is not None:
+            lo = doc["min"] if lo is None else min(lo, doc["min"])
+        if doc.get("max") is not None:
+            hi = doc["max"] if hi is None else max(hi, doc["max"])
+        # Exemplar union: one exemplar per bucket survives; when several
+        # processes carry one for the same bucket, keep the largest
+        # observation (the more interesting trace to chase).
+        for bucket_key, exemplar in doc.get("exemplars", {}).items():
+            kept = exemplars.get(bucket_key)
+            if kept is None or exemplar.get("value", 0.0) > kept.get("value", 0.0):
+                exemplars[bucket_key] = dict(exemplar)
+    merged = {
+        "count": count,
+        "total": total,
+        "mean": (total / count) if count else 0.0,
+        "min": lo,
+        "max": hi,
+        "bounds": list(bounds),
+        "bucket_counts": buckets,
+    }
+    if exemplars:
+        merged["exemplars"] = exemplars
+    # "tails" (exact reservoir quantiles) are deliberately dropped: the
+    # snapshot carries quantiles, not the reservoir, and quantiles of
+    # separate processes cannot be combined exactly.  Per-process tails
+    # remain available in the input documents.
+    return merged
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Combine per-process ``obs/v1`` snapshots into one document.
+
+    The sharded service runs one metrics registry per worker process;
+    the dispatcher gathers each worker's :func:`snapshot` over the wire
+    and folds them here.  Counters and gauges sum (every gauge the
+    engine exports — cached regions, vertices, edges — is a per-process
+    quantity whose fleet-wide total is the meaningful number);
+    histograms and spans sum count/total/buckets, fold min/max, and
+    union exemplars.  Raises :class:`~repro.errors.ConfigurationError`
+    on an empty input, a non-``obs/v1`` document, or bucket bounds that
+    disagree across processes.
+    """
+    if not snapshots:
+        raise ConfigurationError("merge_snapshots needs at least one snapshot")
+    for index, doc in enumerate(snapshots):
+        if not isinstance(doc, dict) or doc.get("schema") != SNAPSHOT_SCHEMA:
+            raise ConfigurationError(
+                f"snapshot #{index} is not an {SNAPSHOT_SCHEMA!r} document "
+                f"(schema tag: {doc.get('schema') if isinstance(doc, dict) else doc!r})"
+            )
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    for doc in snapshots:
+        for name, value in doc.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in doc.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+    merged: dict = {
+        "schema": SNAPSHOT_SCHEMA,
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+    }
+    for section in ("histograms", "spans"):
+        grouped: dict[str, list[dict]] = {}
+        for doc in snapshots:
+            for name, hist in doc.get(section, {}).items():
+                grouped.setdefault(name, []).append(hist)
+        merged[section] = {
+            name: _merge_histograms(name, docs)
+            for name, docs in sorted(grouped.items())
+        }
+    return merged
+
+
 # -- Prometheus text format ------------------------------------------------------
 
 _PROM_INVALID = re.compile(r"[^a-zA-Z0-9_]")

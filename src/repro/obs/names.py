@@ -178,6 +178,34 @@ VERIFY_P2P_WORLDS = "verify.p2p_worlds"
 
 SPAN_VERIFY_WORLD = "verify.world"
 
+# -- sharded service runtime (repro.service) --------------------------------------
+
+#: Cloak requests admitted by the dispatcher (single + batched hosts).
+SERVICE_REQUESTS = "service.requests"
+#: Requests rejected with a typed ServiceOverload (admission queue full).
+SERVICE_OVERLOADS = "service.overloads"
+#: Wire frames the dispatcher sent to shard workers.
+SERVICE_FRAMES_SENT = "service.frames_sent"
+#: Churn barriers driven through the whole fleet.
+SERVICE_CHURN_TICKS = "service.churn_ticks"
+#: Moves whose old or new position crossed into some shard's delta-halo
+#: band (each such move is listed in that shard's halo-refresh message).
+SERVICE_HALO_REFRESHES = "service.halo_refreshes"
+#: Users whose owning shard changed at a churn barrier (component
+#: drifted across a slab boundary).
+SERVICE_REROUTED_USERS = "service.rerouted_users"
+#: Malformed/oversized frames rejected at the front end or a worker.
+SERVICE_WIRE_ERRORS = "service.wire_errors"
+
+#: Worker-side: frames served by this shard worker process.
+SERVICE_WORKER_FRAMES = "service.worker.frames"
+#: Worker-side: cloak requests this shard worker answered.
+SERVICE_WORKER_REQUESTS = "service.worker.requests"
+
+SPAN_SERVICE_REQUEST = "service.request"  # dispatcher-side round trip
+SPAN_SERVICE_CHURN = "service.churn_tick"  # full barrier
+SPAN_WORKER_OP = "service.worker.op"  # worker-side frame handling
+
 # -- LBS server ------------------------------------------------------------------
 
 SERVER_REQUESTS = "server.requests"

@@ -5,6 +5,12 @@ Usage::
     python -m repro.obs.report BENCH_wpg.json --top 10
     python -m repro.obs.report snapshot.json --validate benchmarks/obs_snapshot_schema.json
     python -m repro.obs.report snapshot.json --prometheus
+    python -m repro.obs.report worker0.json worker1.json  # merged report
+
+Several snapshot files (e.g. the per-worker snapshots a sharded
+service run leaves behind) are merged with
+:func:`repro.obs.merge_snapshots` before reporting: counters and
+histograms sum, exemplars union.
 
 Accepts either a bare snapshot (written by
 :func:`repro.obs.export.write_snapshot`) or a ``BENCH_*.json`` benchmark
@@ -21,7 +27,12 @@ import sys
 from pathlib import Path
 
 from repro.errors import ConfigurationError
-from repro.obs.export import load_snapshot, prometheus_text, validate_snapshot
+from repro.obs.export import (
+    load_snapshot,
+    merge_snapshots,
+    prometheus_text,
+    validate_snapshot,
+)
 
 
 def _format_seconds(seconds: float) -> str:
@@ -109,7 +120,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "snapshot",
-        help="a snapshot JSON file, or a BENCH_*.json containing obs snapshots",
+        nargs="+",
+        help="snapshot JSON file(s), or a BENCH_*.json containing obs "
+        "snapshots; several files are merged before reporting",
     )
     parser.add_argument(
         "--top", type=int, default=10, help="rows per section (default: 10)"
@@ -127,8 +140,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.top < 1:
         parser.error(f"--top must be >= 1, got {args.top}")
+    label = ", ".join(args.snapshot)
     try:
-        data = load_snapshot(args.snapshot)
+        loaded = [load_snapshot(path) for path in args.snapshot]
+        data = loaded[0] if len(loaded) == 1 else merge_snapshots(loaded)
     except (OSError, ValueError, ConfigurationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -136,11 +151,11 @@ def main(argv: list[str] | None = None) -> int:
         schema = json.loads(Path(args.validate).read_text())
         errors = validate_snapshot(data, schema)
         if errors:
-            print(f"snapshot {args.snapshot} FAILS {args.validate}:")
+            print(f"snapshot {label} FAILS {args.validate}:")
             for problem in errors:
                 print(f"  {problem}")
             return 1
-        print(f"snapshot {args.snapshot} conforms to {args.validate}")
+        print(f"snapshot {label} conforms to {args.validate}")
     if args.prometheus:
         print(prometheus_text(data), end="")
         return 0

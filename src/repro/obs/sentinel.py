@@ -64,8 +64,8 @@ class TrackedMetric:
 
 #: Gated metrics per bench schema.  ``bench_wpg/v3`` and
 #: ``bench_persist/v1`` metrics read from the largest population entry
-#: (``sizes[-1]``); ``bench_churn/v2`` metrics read from the document
-#: root.
+#: (``sizes[-1]``); ``bench_churn/v2`` and ``bench_service/v1`` metrics
+#: read from the document root.
 TRACKED: dict[str, tuple[TrackedMetric, ...]] = {
     "bench_wpg/v3": (
         TrackedMetric("build.fast_seconds", ("build", "fast_seconds"), False),
@@ -104,6 +104,24 @@ TRACKED: dict[str, tuple[TrackedMetric, ...]] = {
             "journal.moves_per_second",
             ("journal", "moves_per_second"),
             True,
+        ),
+    ),
+    "bench_service/v1": (
+        TrackedMetric(
+            "scaling.capacity_speedup_2",
+            ("scaling", "capacity_speedup_2"),
+            True,
+        ),
+        TrackedMetric(
+            "scaling.capacity_speedup_4",
+            ("scaling", "capacity_speedup_4"),
+            True,
+        ),
+        TrackedMetric(
+            "single.capacity_rps", ("single", "capacity_rps"), True
+        ),
+        TrackedMetric(
+            "single.latency_p95_ms", ("single", "latency_p95_ms"), False
         ),
     ),
 }

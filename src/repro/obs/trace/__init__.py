@@ -218,6 +218,44 @@ def request_scope() -> object:
     return _TraceScope()
 
 
+class _AdoptedScope:
+    """A request scope bound to a trace id minted in another process."""
+
+    __slots__ = ("trace_id", "_restore")
+
+    def __init__(self, trace_id: int) -> None:
+        self.trace_id = trace_id
+
+    def __enter__(self) -> int:
+        global _current, _next_trace_id
+        self._restore = _current
+        _current = self.trace_id
+        # Keep locally minted ids disjoint from adopted ones, so a
+        # worker's own top-level scopes can never collide with a trace
+        # id the dispatcher stamped onto a wire frame.
+        if self.trace_id >= _next_trace_id:
+            _next_trace_id = self.trace_id + 1
+        return self.trace_id
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _current
+        _current = self._restore
+
+
+def adopt_scope(trace_id: Optional[int]) -> object:
+    """Bind a trace id that crossed a process boundary.
+
+    The service dispatcher stamps its current trace id onto every wire
+    frame; the shard worker wraps the frame's work in this scope so the
+    spans, exemplars and flight-recorder events it produces carry the
+    *dispatcher's* id — one request, one id, across processes.  With no
+    id on the frame this degrades to an ordinary :func:`request_scope`.
+    """
+    if trace_id is None:
+        return request_scope()
+    return _AdoptedScope(int(trace_id))
+
+
 def install_recorder(
     recorder: Optional[FlightRecorder] = None,
 ) -> FlightRecorder:

@@ -1,0 +1,39 @@
+"""repro.service — the sharded multi-core cloaking service runtime.
+
+A production-shaped front for :class:`~repro.cloaking.engine.CloakingEngine`:
+a dispatcher process routes cloak requests over a length-prefixed JSON
+wire protocol to shard worker processes, each owning a contiguous slab
+of grid-tile columns plus a δ-halo of border users.  Churn ticks run as
+fleet-wide barriers; the differential harness in
+``tests/test_service_equivalence.py`` and the ``service-shard-equal``
+fuzz invariant prove the shard count is *unobservable* — the service
+answers bit-identically to a single-process engine on the same world.
+
+Quick start::
+
+    from repro.service import CloakingService, ServiceSpec
+
+    spec = ServiceSpec.synthetic(users=10_000, seed=7, shards=4)
+    with CloakingService(spec) as service:
+        outcome = service.request(42)          # one cloak request
+        outcomes = service.request_many([1, 2, 3])
+        service.apply_moves([(5, 0.25, 0.75)])  # churn barrier
+
+Or as a daemon: ``python -m repro.service --users 10000 --shards 4``.
+"""
+
+from repro.service.dispatcher import CloakingService
+from repro.service.shards import ShardMap, route_users
+from repro.service.spec import ServiceSpec, build_engine, spec_from_world
+from repro.service.worker import outcome_of, outcomes_of
+
+__all__ = [
+    "CloakingService",
+    "ServiceSpec",
+    "ShardMap",
+    "build_engine",
+    "outcome_of",
+    "outcomes_of",
+    "route_users",
+    "spec_from_world",
+]

@@ -1,0 +1,100 @@
+"""``python -m repro.service`` — run the sharded cloaking service.
+
+Builds the population from a spec file or synthesis flags, forks the
+shard workers, and serves the length-prefixed JSON wire protocol on a
+TCP port until interrupted.  A quick session::
+
+    python -m repro.service --users 10000 --shards 4 --port 9009
+
+    # elsewhere, any language that can write 4-byte lengths:
+    #   {"op": "request", "host": 42, "id": 1}
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import sys
+
+from repro.service.dispatcher import CloakingService
+from repro.service.frontend import ServiceFrontend
+from repro.service.spec import ServiceSpec
+
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Sharded multi-core cloaking service.",
+    )
+    source = parser.add_argument_group("population (pick --spec or synthesis flags)")
+    source.add_argument("--spec", help="path to a service-spec-v1 JSON file")
+    source.add_argument("--users", type=int, default=10_000)
+    source.add_argument("--seed", type=int, default=7)
+    source.add_argument(
+        "--kind", choices=("california", "uniform"), default="california"
+    )
+    source.add_argument("--delta", type=float, default=0.02)
+    source.add_argument("--max-peers", type=int, default=10)
+    source.add_argument("--k", type=int, default=5)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--queue", type=int, default=256, help="admission capacity")
+    parser.add_argument("--flavor", choices=("distributed", "tree"), default="distributed")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9009)
+    parser.add_argument(
+        "--obs", action="store_true", help="enable fleet-wide observability"
+    )
+    return parser.parse_args(argv)
+
+
+def _build_spec(args: argparse.Namespace) -> ServiceSpec:
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            return ServiceSpec.from_dict(json.load(handle))
+    return ServiceSpec.synthetic(
+        users=args.users,
+        seed=args.seed,
+        kind=args.kind,
+        delta=args.delta,
+        max_peers=args.max_peers,
+        k=args.k,
+        flavor=args.flavor,
+        shards=args.shards,
+        queue_capacity=args.queue,
+        obs=args.obs,
+    )
+
+
+async def _serve(service: CloakingService, host: str, port: int) -> None:
+    frontend = ServiceFrontend(service, host=host, port=port)
+    bound_host, bound_port = await frontend.start()
+    print(
+        f"repro.service: {service.spec.shards} shard worker(s) up, "
+        f"serving on {bound_host}:{bound_port}",
+        flush=True,
+    )
+    try:
+        await frontend.serve_forever()
+    finally:
+        await frontend.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(argv)
+    spec = _build_spec(args)
+    print(
+        f"repro.service: building {spec.shards}-shard world "
+        f"({json.dumps(spec.source)[:120]})...",
+        flush=True,
+    )
+    with CloakingService(spec) as service:
+        with contextlib.suppress(KeyboardInterrupt, asyncio.CancelledError):
+            asyncio.run(_serve(service, args.host, args.port))
+        print("repro.service: draining in-flight requests and shutting down")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

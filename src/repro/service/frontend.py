@@ -1,0 +1,251 @@
+"""The async front door: a TCP server bridging frames to the dispatcher.
+
+``python -m repro.service`` serves the same length-prefixed JSON frames
+the dispatcher speaks internally, over TCP.  The asyncio loop only
+parses and validates; every real operation hops to a worker thread
+(``run_in_executor``) so a slow cloak request never blocks accepting
+connections — backpressure is the dispatcher's admission counter, which
+surfaces here as a typed ``ServiceOverload`` error frame.
+
+Client-facing robustness differs from the worker loop in one deliberate
+way: an *oversized* length declaration on a client connection gets a
+typed error frame and then the connection is closed.  A worker resyncs
+(its peer is the dispatcher, which is trusted to have actually sent the
+declared bytes); an arbitrary TCP client claiming a 4 GiB frame may
+never send them, and a reader that waits to resync can be held hostage.
+Malformed JSON bodies are fully consumed, so those get an error reply
+and the connection keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import ReproError, WireFormatError
+from repro.network.frames import DEFAULT_MAX_FRAME, decode_payload
+from repro.service.dispatcher import CloakingService
+
+_LENGTH = struct.Struct(">I")
+
+#: Ops a TCP client may invoke, mapped to dispatcher calls below.
+CLIENT_OPS = ("ping", "request", "request_many", "churn", "stats", "spec")
+
+
+async def read_client_body(
+    reader: asyncio.StreamReader, max_bytes: int = DEFAULT_MAX_FRAME
+) -> Optional[bytes]:
+    """Read one raw frame body off an asyncio stream.
+
+    Returns None on clean EOF.  Raises :class:`WireFormatError` only for
+    *framing* failures (oversized declaration — raised before the body
+    is awaited — or a connection dying mid-frame), after which the
+    stream has no recovery point.  Whether the returned bytes parse is
+    the caller's separate concern: a bad body is fully consumed, so the
+    connection can keep serving after a typed error reply.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireFormatError("connection closed inside a frame header") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > max_bytes:
+        raise WireFormatError(
+            f"frame declares {length} bytes, cap is {max_bytes}"
+        )
+    try:
+        return await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise WireFormatError("connection closed inside a frame body") from exc
+
+
+def encode_client_frame(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _error_frame(exc: Exception) -> bytes:
+    return encode_client_frame(
+        {
+            "id": None,
+            "status": "error",
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+    )
+
+
+class ServiceFrontend:
+    """One TCP endpoint in front of a :class:`CloakingService`."""
+
+    def __init__(
+        self,
+        service: CloakingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — valid after :meth:`start`."""
+        if self._server is None:
+            raise WireFormatError("frontend is not started")
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound address."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        return self.address
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- per-connection loop -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    raw = await read_client_body(reader, self._max_frame)
+                except WireFormatError as exc:
+                    # Oversized or mid-frame death: no resync point on an
+                    # untrusted stream — answer typed, then hang up.
+                    writer.write(_error_frame(exc))
+                    await writer.drain()
+                    return
+                if raw is None:
+                    return
+                try:
+                    frame = decode_payload(raw)
+                except WireFormatError as exc:
+                    # The bad body was fully consumed; the stream is
+                    # still framed — reply typed and keep serving.
+                    writer.write(_error_frame(exc))
+                    await writer.drain()
+                    continue
+                reply = await self._serve_frame(frame)
+                writer.write(encode_client_frame(reply))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_frame(self, frame: dict) -> dict:
+        frame_id = frame.get("id")
+        try:
+            body = await self._dispatch(frame)
+            return {"id": frame_id, "status": "ok", **body}
+        except ReproError as exc:
+            return {
+                "id": frame_id,
+                "status": "error",
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+
+    async def _dispatch(self, frame: dict) -> dict:
+        op = frame.get("op")
+        if op not in CLIENT_OPS:
+            raise WireFormatError(
+                f"unknown client op {op!r} (supported: {', '.join(CLIENT_OPS)})"
+            )
+        loop = asyncio.get_running_loop()
+        service = self._service
+        if op == "ping":
+            return {"shards": service.spec.shards}
+        if op == "spec":
+            return {"spec": service.spec.to_dict()}
+        if op == "request":
+            host = frame.get("host")
+            outcome = await loop.run_in_executor(None, service.request, host)
+            return {"outcome": outcome}
+        if op == "request_many":
+            hosts = frame.get("hosts")
+            if not isinstance(hosts, list):
+                raise WireFormatError("op 'request_many' needs a 'hosts' list")
+            outcomes = await loop.run_in_executor(None, service.request_many, hosts)
+            return {"outcomes": outcomes}
+        if op == "churn":
+            moves = frame.get("moves")
+            if not isinstance(moves, list):
+                raise WireFormatError("op 'churn' needs a 'moves' list")
+            summary = await loop.run_in_executor(None, service.apply_moves, moves)
+            return {"summary": summary}
+        return {"stats": await loop.run_in_executor(None, service.worker_stats)}
+
+
+class BackgroundFrontend:
+    """A frontend on its own event-loop thread — what the tests use.
+
+    ``with BackgroundFrontend(service) as (host, port): ...`` gives a
+    live TCP endpoint without the test owning an event loop.
+    """
+
+    def __init__(self, service: CloakingService, host: str = "127.0.0.1") -> None:
+        self._frontend = ServiceFrontend(service, host=host, port=0)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._address: Optional[tuple[str, int]] = None
+
+    def __enter__(self) -> tuple[str, int]:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="service-frontend", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):  # pragma: no cover
+            raise WireFormatError("frontend failed to start")
+        assert self._address is not None
+        return self._address
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            self._address = await self._frontend.start()
+            self._started.set()
+
+        self._loop.run_until_complete(boot())
+        self._loop.run_forever()
+        self._loop.run_until_complete(self._frontend.stop())
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        self._loop.close()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)

@@ -1,0 +1,196 @@
+"""Spatial shard plan: tile-column slabs, δ-halos, component routing.
+
+The unit square is cut into grid tiles of width δ (the same tiling the
+churn runtime's :class:`~repro.spatial.grid.GridIndex` uses); each shard
+owns a contiguous run of tile *columns* — a vertical slab.  Because a
+WPG edge never spans more than δ, every edge incident to a user inside
+a slab has its other endpoint inside the slab **or** in the slab's
+δ-halo (the one-tile band on each side).  That locality gives each
+shard a well-defined view: the users it geometrically owns, the border
+users it must be able to see read-only, and the owned-incident edge set
+whose union over all shards stitches back into the full graph
+(``tests/test_service_soak.py`` checks both properties).
+
+Request *routing*, however, follows WPG components, not raw geometry:
+the outcome of a cloak request depends on earlier registrations and
+cached regions anywhere in the requester's connected component (and
+nowhere else), so all requests of one component must serialise on one
+worker.  A component is anchored at its minimum-id member; the shard
+whose slab contains the anchor's position owns every user of that
+component.  Components are intra-slab in the common case (they chain
+through ≤ δ edges), so anchoring keeps routing aligned with geometry
+while staying correct when a component straddles a boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ServiceError
+from repro.graph.wpg import WeightedProximityGraph
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """The static slab plan: ``shards`` contiguous runs of δ-columns."""
+
+    shards: int
+    delta: float
+    columns: int = field(init=False)
+    columns_per_shard: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ServiceError(f"shards must be >= 1, got {self.shards}")
+        if not (0.0 < self.delta <= 1.0):
+            raise ServiceError(f"delta must be in (0, 1], got {self.delta}")
+        columns = max(1, math.ceil(1.0 / self.delta - 1e-9))
+        object.__setattr__(self, "columns", columns)
+        object.__setattr__(
+            self, "columns_per_shard", max(1, math.ceil(columns / self.shards))
+        )
+
+    def column_of(self, x: float) -> int:
+        """The tile column containing ``x`` (clamped to the unit square)."""
+        if x <= 0.0:
+            return 0
+        return min(int(x / self.delta), self.columns - 1)
+
+    def shard_of(self, x: float) -> int:
+        """The shard whose slab contains ``x``."""
+        return min(self.column_of(x) // self.columns_per_shard, self.shards - 1)
+
+    def slab(self, shard: int) -> tuple[float, float]:
+        """The x-interval ``[lo, hi)`` of ``shard``'s tile columns.
+
+        The last shard's slab extends to the right edge of the unit
+        square (and absorbs any trailing columns when ``columns`` does
+        not divide evenly).
+        """
+        if not 0 <= shard < self.shards:
+            raise ServiceError(f"no shard {shard} in a {self.shards}-shard map")
+        lo = min(shard * self.columns_per_shard * self.delta, 1.0)
+        if shard == self.shards - 1:
+            return lo, 1.0
+        hi = min((shard + 1) * self.columns_per_shard * self.delta, 1.0)
+        return lo, hi
+
+    def in_slab(self, shard: int, x: float) -> bool:
+        """Is ``x`` geometrically owned by ``shard``?"""
+        lo, hi = self.slab(shard)
+        if shard == self.shards - 1:
+            return lo <= x <= hi
+        return lo <= x < hi
+
+    def in_halo(self, shard: int, x: float) -> bool:
+        """Is ``x`` in ``shard``'s δ-halo (border band, not owned)?"""
+        if self.in_slab(shard, x):
+            return False
+        lo, hi = self.slab(shard)
+        return (lo - self.delta) <= x < (hi + self.delta)
+
+    def touches(self, shard: int, x: float) -> bool:
+        """Owned or halo: does ``shard`` need to see a user at ``x``?"""
+        return self.in_slab(shard, x) or self.in_halo(shard, x)
+
+
+def route_users(
+    graph: WeightedProximityGraph,
+    positions: Sequence,
+    shard_map: ShardMap,
+    groups: Iterable[Iterable[int]] = (),
+) -> list[int]:
+    """The routing table: user id → owning shard, by routing-group anchor.
+
+    A routing group is a connected component of the WPG *unioned with
+    every registered cluster's member set* (``groups``).  The WPG edges
+    capture where new clustering state can form; the cluster sets
+    capture where state already lives — a cluster's cached region is
+    shared by all its members permanently (reciprocity), and churn can
+    *split* the WPG component a cluster formed in, stranding members on
+    the far side of a cut.  Folding the cluster sets in keeps every
+    request's full dependency footprint on one worker, which is what the
+    differential harness's bit-identity rests on.
+
+    ``positions`` is indexable by user id and yields objects with an
+    ``x`` attribute (dataset points); each group maps to the shard whose
+    slab contains the position of the group's minimum-id member.
+    """
+    count = graph.vertex_count
+    parent = list(range(count))
+
+    def find(vertex: int) -> int:
+        root = vertex
+        while parent[root] != root:
+            root = parent[root]
+        while parent[vertex] != root:
+            parent[vertex], vertex = root, parent[vertex]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            # Smaller root wins so the root IS the group's anchor.
+            if rb < ra:
+                ra, rb = rb, ra
+            parent[rb] = ra
+
+    for edge in graph.edges():
+        union(edge.u, edge.v)
+    for group in groups:
+        members = iter(group)
+        first = next(members, None)
+        if first is None:
+            continue
+        for other in members:
+            union(first, other)
+    return [
+        shard_map.shard_of(positions[find(user)].x) for user in range(count)
+    ]
+
+
+def ownership_delta(
+    before: Sequence[int], after: Sequence[int]
+) -> dict[int, list[list[int]]]:
+    """Per-shard ``[gained, lost]`` user lists between two routing tables.
+
+    Churn can merge components across a slab boundary (or walk an
+    anchor into a different slab); the dispatcher broadcasts the
+    resulting ownership changes so each worker keeps an authoritative
+    owned set.  Only shards with a change appear in the result.
+    """
+    if len(before) != len(after):
+        raise ServiceError(
+            f"routing tables disagree on population: {len(before)} vs {len(after)}"
+        )
+    delta: dict[int, list[list[int]]] = {}
+    for user, (old, new) in enumerate(zip(before, after)):
+        if old == new:
+            continue
+        delta.setdefault(new, [[], []])[0].append(user)
+        delta.setdefault(old, [[], []])[1].append(user)
+    return delta
+
+
+def halo_moves(
+    moves: Iterable[tuple[int, float, float]],
+    old_x: dict[int, float],
+    shard_map: ShardMap,
+    shard: int,
+) -> list[int]:
+    """Users whose move crosses into or out of ``shard``'s halo band.
+
+    A boundary move changes what this shard must be able to see
+    read-only; the dispatcher lists these users in the shard's churn
+    frame (its *halo-refresh* message) and counts them under
+    ``service.halo_refreshes``.
+    """
+    touched: list[int] = []
+    for user, new_x, _new_y in moves:
+        was = shard_map.in_halo(shard, old_x[user])
+        now = shard_map.in_halo(shard, new_x)
+        if was != now:
+            touched.append(user)
+    return touched

@@ -1,0 +1,442 @@
+"""The shard worker: one process, one engine replica, one frame loop.
+
+A worker owns the requests routed to it (by WPG component anchor, see
+:mod:`repro.service.shards`) and answers each one by running its own
+full :class:`~repro.cloaking.engine.CloakingEngine` replica.  Replicas
+stay interchangeable through the churn barrier's state-sync ops:
+``drain_state`` exports the clusters and cached regions this worker has
+formed since the last sync, ``merge_state`` adopts every other worker's
+exports, and only then does the ``churn`` op apply the move batch — so
+after a component merge, whichever worker inherits the merged component
+already holds both precursors' registrations.
+
+The frame loop is deliberately hard to kill (``tests/test_service_protocol.py``):
+
+* a frame body that is not valid JSON → typed error reply, keep serving;
+* an oversized length declaration → typed error reply, discard exactly
+  the declared bytes (:func:`repro.network.frames.discard_frame`), keep
+  serving;
+* a truncated frame or clean EOF → drain nothing, exit the loop cleanly;
+* a cloaking *failure* (small component, exhausted graph) is not an
+  error at all — it is a first-class per-host outcome with ``ok: false``.
+
+:func:`outcome_of` is the canonical wire shape of one cloak answer; the
+differential tests run the *same* function against a single-process
+engine, so "bit-identical" is a dict comparison, not an interpretation.
+Process-local cache identifiers (``cluster_id``) are deliberately
+excluded — exposing them would make the shard count observable.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Iterable, Optional, Sequence
+
+from repro import obs
+from repro.cloaking.engine import CloakingEngine
+from repro.errors import ReproError, ServiceError, WireFormatError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.network.frames import (
+    DEFAULT_MAX_FRAME,
+    FrameTooLarge,
+    TruncatedFrame,
+    discard_frame,
+    read_frame,
+    send_frame,
+)
+from repro.obs import names as metric
+from repro.obs import trace as _trace
+from repro.service.shards import ShardMap
+
+
+def outcome_of(engine: CloakingEngine, host: int) -> dict:
+    """One cloak request as its canonical, comparable wire dict.
+
+    Success carries the region rectangle, the sorted cluster membership
+    and every cost meter the paper's experiments read; failure carries
+    the typed error.  Both shapes are JSON-round-trip-stable (Python
+    serialises floats losslessly), which is what lets the differential
+    harness demand bit-identity across shard counts.
+    """
+    try:
+        result = engine.request(host)
+    except ReproError as exc:
+        return {
+            "ok": False,
+            "host": host,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+    rect = result.region.rect
+    return {
+        "ok": True,
+        "host": host,
+        "rect": [rect.x_min, rect.x_max, rect.y_min, rect.y_max],
+        "members": sorted(result.cluster.members),
+        "anonymity": result.region.anonymity,
+        "connectivity": result.cluster.connectivity,
+        "involved": result.cluster.involved,
+        "clustering_messages": result.clustering_messages,
+        "bounding_messages": result.bounding_messages,
+        "cluster_from_cache": result.cluster.from_cache,
+        "region_from_cache": result.region_from_cache,
+    }
+
+
+def outcomes_of(engine: CloakingEngine, hosts: Iterable[int]) -> list[dict]:
+    """A batch of :func:`outcome_of` answers, one per host, in order.
+
+    Failures are isolated per host (the engine's native ``request_many``
+    raises mid-batch; a service must answer every caller), and a batch
+    is defined as exactly the sequence of its single requests — the
+    property the equivalence tests pin down.
+    """
+    return [outcome_of(engine, host) for host in hosts]
+
+
+class ShardServer:
+    """The op handler behind one worker's frame loop.
+
+    Kept separate from the process entry point so the protocol logic is
+    unit-testable in-process: tests can drive ``handle`` with raw frame
+    dicts and compare replies without forking.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        engine: CloakingEngine,
+        shard_map: ShardMap,
+        owned: Iterable[int],
+    ) -> None:
+        self._shard = shard
+        self._engine = engine
+        self._map = shard_map
+        self._owned = set(owned)
+        # Sync watermarks: everything at or before these marks is known
+        # to the whole fleet; drain_state exports only what came after.
+        self._cluster_watermark = len(engine.clustering.registry)
+        self._synced_regions = set(engine.cached_regions())
+        self._busy_cpu = 0.0
+        self._busy_wall = 0.0
+        self._halo_refreshes = 0
+        self._op_counts: dict[str, int] = {}
+
+    @property
+    def shard(self) -> int:
+        """This worker's shard index."""
+        return self._shard
+
+    @property
+    def engine(self) -> CloakingEngine:
+        """The replica engine (tests inspect it directly)."""
+        return self._engine
+
+    def handle(self, frame: dict) -> tuple[dict, bool]:
+        """Serve one frame; returns ``(reply, keep_serving)``.
+
+        Ownership violations, unknown ops and mis-typed fields come back
+        as ``status: "error"`` replies with the error's type name;
+        cloaking failures come back as ``ok: false`` outcomes inside a
+        ``status: "ok"`` reply.  Only ``shutdown`` flips the flag.
+        """
+        frame_id = frame.get("id")
+        op = frame.get("op")
+        started_cpu = time.process_time()
+        started_wall = time.perf_counter()
+        keep_serving = True
+        with _trace.adopt_scope(frame.get("trace")):
+            try:
+                if not isinstance(op, str):
+                    raise WireFormatError(
+                        f"frame is missing a string 'op' field: {op!r}"
+                    )
+                handler = getattr(self, f"_op_{op}", None)
+                if handler is None:
+                    raise WireFormatError(f"unknown op {op!r}")
+                with obs.span(metric.SPAN_WORKER_OP):
+                    body = handler(frame)
+                reply = {"id": frame_id, "status": "ok", **body}
+                keep_serving = op != "shutdown"
+            except ReproError as exc:
+                reply = {
+                    "id": frame_id,
+                    "status": "error",
+                    "error": {"type": type(exc).__name__, "message": str(exc)},
+                }
+        self._busy_cpu += time.process_time() - started_cpu
+        self._busy_wall += time.perf_counter() - started_wall
+        if isinstance(op, str):
+            self._op_counts[op] = self._op_counts.get(op, 0) + 1
+        if obs.enabled():
+            obs.inc(metric.SERVICE_WORKER_FRAMES)
+        return reply, keep_serving
+
+    # -- serving ---------------------------------------------------------------
+
+    def _require_host(self, frame: dict, field: str = "host") -> int:
+        host = frame.get(field)
+        if not isinstance(host, int) or isinstance(host, bool):
+            raise WireFormatError(f"op {frame.get('op')!r} needs an int {field!r}")
+        if host not in self._owned:
+            raise ServiceError(
+                f"host {host} is not owned by shard {self._shard} "
+                "(stale routing table?)"
+            )
+        return host
+
+    def _op_ping(self, frame: dict) -> dict:
+        return {"shard": self._shard, "owned": len(self._owned)}
+
+    def _op_request(self, frame: dict) -> dict:
+        host = self._require_host(frame)
+        if obs.enabled():
+            obs.inc(metric.SERVICE_WORKER_REQUESTS)
+        return {"outcome": outcome_of(self._engine, host)}
+
+    def _op_request_many(self, frame: dict) -> dict:
+        hosts = frame.get("hosts")
+        if not isinstance(hosts, list):
+            raise WireFormatError("op 'request_many' needs a 'hosts' list")
+        checked = [self._require_host({"op": "request_many", "host": h}) for h in hosts]
+        if obs.enabled():
+            obs.inc(metric.SERVICE_WORKER_REQUESTS, len(checked))
+        return {"outcomes": outcomes_of(self._engine, checked)}
+
+    def _op_stall(self, frame: dict) -> dict:
+        # Diagnostic: hold this worker busy so tests can fill the
+        # admission queue deterministically and observe ServiceOverload.
+        time.sleep(float(frame.get("seconds", 0.05)))
+        return {"stalled": True}
+
+    def _op_shutdown(self, frame: dict) -> dict:
+        return {"shard": self._shard}
+
+    # -- ownership -------------------------------------------------------------
+
+    def _op_own(self, frame: dict) -> dict:
+        grant = frame.get("grant", [])
+        revoke = frame.get("revoke", [])
+        if not isinstance(grant, list) or not isinstance(revoke, list):
+            raise WireFormatError("op 'own' needs 'grant'/'revoke' lists")
+        self._owned.difference_update(revoke)
+        self._owned.update(grant)
+        return {"owned": len(self._owned)}
+
+    # -- the churn barrier -----------------------------------------------------
+
+    def _op_drain_state(self, frame: dict) -> dict:
+        registry = self._engine.clustering.registry
+        clusters = [
+            sorted(group) for group in registry.clusters(self._cluster_watermark)
+        ]
+        self._cluster_watermark = len(registry)
+        regions = []
+        for members, region in self._engine.cached_regions().items():
+            if members in self._synced_regions:
+                continue
+            rect = region.rect
+            regions.append(
+                [
+                    sorted(members),
+                    [rect.x_min, rect.x_max, rect.y_min, rect.y_max],
+                    region.anonymity,
+                ]
+            )
+            self._synced_regions.add(members)
+        # Live keys let the dispatcher retire regions churn invalidated:
+        # its canonical map must mirror the fleet, not accumulate history.
+        live = sorted(sorted(members) for members in self._engine.cached_regions())
+        return {"clusters": clusters, "regions": regions, "live_regions": live}
+
+    def _op_merge_state(self, frame: dict) -> dict:
+        clusters = frame.get("clusters", [])
+        regions = frame.get("regions", [])
+        if not isinstance(clusters, list) or not isinstance(regions, list):
+            raise WireFormatError("op 'merge_state' needs 'clusters'/'regions' lists")
+        adopted_clusters = sum(
+            self._engine.adopt_cluster(members) for members in clusters
+        )
+        self._cluster_watermark = len(self._engine.clustering.registry)
+        adopted_regions = 0
+        for members, rect, anonymity in regions:
+            key = frozenset(members)
+            adopted_regions += self._engine.adopt_region(
+                key, Rect(*rect), int(anonymity)
+            )
+            self._synced_regions.add(key)
+        return {"clusters": adopted_clusters, "regions": adopted_regions}
+
+    def _op_churn(self, frame: dict) -> dict:
+        moves = frame.get("moves")
+        if not isinstance(moves, list):
+            raise WireFormatError("op 'churn' needs a 'moves' list")
+        halo = frame.get("halo", [])
+        batch: list[tuple[int, Point]] = [
+            (int(user), Point(float(x), float(y))) for user, x, y in moves
+        ]
+        self._engine.apply_moves(batch)
+        # Invalidation may evict synced regions; forgetting them here is
+        # what lets a later re-formation of the same cluster's region be
+        # drained again instead of being mistaken for already-synced.
+        self._synced_regions &= set(self._engine.cached_regions())
+        self._halo_refreshes += len(halo)
+        if obs.enabled() and halo:
+            obs.inc(metric.SERVICE_HALO_REFRESHES, len(halo))
+        return {"moved": len(batch), "halo": len(halo)}
+
+    # -- introspection ---------------------------------------------------------
+
+    def _op_graph_view(self, frame: dict) -> dict:
+        """This shard's geometric view: owned-incident edges + halo check.
+
+        "Owned" here is *geometric* (the slab), independent of component
+        routing: the union of these edge sets over all shards must equal
+        the full WPG edge set, and the δ-locality invariant says every
+        other endpoint falls inside owned ∪ halo.  The soak test stitches
+        the per-shard views back together and diffs against a
+        from-scratch build.
+        """
+        points = self._engine.dataset.points
+        edges: list[list] = []
+        violations: list[list[int]] = []
+        for edge in self._engine.graph.edges():
+            u_owned = self._map.in_slab(self._shard, points[edge.u].x)
+            v_owned = self._map.in_slab(self._shard, points[edge.v].x)
+            if not (u_owned or v_owned):
+                continue
+            edges.append([edge.u, edge.v, edge.weight])
+            if not (self._map.touches(self._shard, points[edge.u].x)
+                    and self._map.touches(self._shard, points[edge.v].x)):
+                violations.append([edge.u, edge.v])
+        edges.sort()
+        owned_users = [
+            u for u in self._engine.graph.vertices()
+            if self._map.in_slab(self._shard, points[u].x)
+        ]
+        return {
+            "edges": edges,
+            "geometric_owned": len(owned_users),
+            "halo_ok": not violations,
+            "violations": violations,
+        }
+
+    def _op_snapshot(self, frame: dict) -> dict:
+        return {"snapshot": obs.snapshot() if obs.enabled() else None}
+
+    def _op_stats(self, frame: dict) -> dict:
+        registry = self._engine.clustering.registry
+        return {
+            "shard": self._shard,
+            "owned": len(self._owned),
+            "busy_cpu": self._busy_cpu,
+            "busy_wall": self._busy_wall,
+            "ops": dict(sorted(self._op_counts.items())),
+            "halo_refreshes": self._halo_refreshes,
+            "clusters": len(registry),
+            "regions": self._engine.regions_cached,
+        }
+
+    def _op_reset_stats(self, frame: dict) -> dict:
+        self._busy_cpu = 0.0
+        self._busy_wall = 0.0
+        self._op_counts = {}
+        return {"reset": True}
+
+
+def serve(
+    sock: socket.socket,
+    server: ShardServer,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> None:
+    """The worker's frame loop — malformed input never exits it.
+
+    Exits on: a ``shutdown`` op (after acking it), clean EOF, a
+    truncated frame, or a dead peer on send.  Everything else is a reply.
+    """
+    while True:
+        try:
+            frame = read_frame(sock, max_frame)
+        except FrameTooLarge as exc:
+            reply = {
+                "id": None,
+                "status": "error",
+                "error": {"type": "FrameTooLarge", "message": str(exc)},
+            }
+            if obs.enabled():
+                obs.inc(metric.SERVICE_WIRE_ERRORS)
+            try:
+                send_frame(sock, reply, max_frame)
+                discard_frame(sock, exc.declared)
+            except (TruncatedFrame, OSError):
+                return
+            continue
+        except WireFormatError as exc:
+            # TruncatedFrame means the peer died mid-frame: no resync
+            # point exists, exit cleanly.  A bad body was fully consumed,
+            # so the stream is still framed: reply and keep serving.
+            if isinstance(exc, TruncatedFrame):
+                return
+            if obs.enabled():
+                obs.inc(metric.SERVICE_WIRE_ERRORS)
+            reply = {
+                "id": None,
+                "status": "error",
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+            try:
+                send_frame(sock, reply, max_frame)
+            except OSError:
+                return
+            continue
+        except OSError:
+            return
+        if frame is None:
+            return
+        reply, keep_serving = server.handle(frame)
+        try:
+            send_frame(sock, reply, max_frame)
+        except OSError:
+            return
+        if not keep_serving:
+            return
+
+
+def worker_main(
+    sock: socket.socket,
+    close_first: Sequence[socket.socket],
+    shard: int,
+    engine: CloakingEngine,
+    shard_map: ShardMap,
+    owned: Iterable[int],
+    enable_obs: bool,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> None:
+    """Process entry point for one shard worker (``fork`` start method).
+
+    The engine replica is inherited copy-on-write from the dispatcher's
+    pre-fork build; ``close_first`` lists every inherited socket that
+    belongs to other workers or to the dispatcher side of this pair —
+    closing them immediately is what makes EOF detection work fleet-wide.
+    Observability state is also inherited, so it is reset before serving:
+    each worker reports a process-local snapshot the dispatcher merges.
+    """
+    for other in close_first:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+    obs.disable()
+    obs.reset()
+    _trace.reset_trace_context()
+    if enable_obs:
+        obs.enable()
+    server = ShardServer(shard, engine, shard_map, owned)
+    try:
+        serve(sock, server, max_frame)
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass

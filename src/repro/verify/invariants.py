@@ -1176,3 +1176,97 @@ def _snapshot_replay_equal(run: WorldRun) -> List[str]:
                 )
         restored.disable_persistence()
     return details
+
+
+# -- the sharded service runtime ----------------------------------------------------
+
+
+@invariant("service-shard-equal")
+def _service_shard_equal(run: WorldRun) -> List[str]:
+    """The shard count is unobservable: service == single engine.
+
+    A self-contained differential run per world: a multi-process
+    :class:`~repro.service.CloakingService` at a seeded shard count and
+    a single in-process engine built from the same spec serve the same
+    hosts, consume the same churn schedule, and serve again.  Every
+    outcome dict must match bit for bit, the merged registry must equal
+    the reference's as a SET of clusters (registration order is the one
+    thing that legitimately differs between replicas), the merged region
+    cache must match rect for rect, and the per-shard geometric graph
+    views must stitch back into the reference graph exactly.
+
+    Faulty/p2p worlds are skipped: reliability sessions hold per-device
+    protocol state that is not part of the serving surface the service
+    shards (the same exclusion ``snapshot-replay-equal`` makes).
+    """
+    world = run.built.world
+    if world.faulty or world.p2p:
+        return []
+    import random as _random
+
+    from repro.service import CloakingService, build_engine, spec_from_world
+    from repro.service.worker import outcomes_of
+    from repro.verify.worlds import churn_schedule
+
+    built = run.built
+    rng = _random.Random(world.seed + 77003)
+    shards = rng.randint(2, 3)
+    spec = spec_from_world(world, shards=shards)
+    reference = build_engine(spec)
+    hosts = list(built.hosts)
+    details: List[str] = []
+    service = CloakingService(spec)
+    try:
+        if [service.request(h) for h in hosts] != outcomes_of(reference, hosts):
+            details.append(
+                f"{shards}-shard service diverged from the single engine "
+                "on the first serving pass"
+            )
+        batches = list(churn_schedule(world)) if world.churn_moves else []
+        for index, batch in enumerate(batches):
+            service.apply_moves(batch)
+            reference.apply_moves(batch)
+            if service.request_many(hosts) != outcomes_of(reference, hosts):
+                details.append(
+                    f"{shards}-shard service diverged after churn batch "
+                    f"{index + 1}/{len(batches)}"
+                )
+                break
+        if not details:
+            if service.registry_clusters() != set(
+                reference.clustering.registry.clusters()
+            ):
+                details.append(
+                    f"{shards}-shard merged registry differs from the "
+                    "reference as a set of clusters"
+                )
+            if service.cached_regions() != {
+                members: (region.rect, region.anonymity)
+                for members, region in reference.cached_regions().items()
+            }:
+                details.append(
+                    f"{shards}-shard merged region cache differs from the "
+                    "reference"
+                )
+            views = service.shard_graph_views()
+            for view in views:
+                if not view["halo_ok"]:
+                    details.append(
+                        f"delta-halo invariant violated: {view['violations'][:3]}"
+                    )
+            stitched = WeightedProximityGraph.from_edges(
+                (
+                    (u, v, w)
+                    for view in views
+                    for u, v, w in view["edges"]
+                ),
+                vertices=range(world.n),
+            )
+            details.extend(
+                graph_equality_details(
+                    stitched, reference.graph, "stitched-shards", "reference"
+                )
+            )
+    finally:
+        service.close()
+    return details

@@ -1,0 +1,147 @@
+"""merge_snapshots: folding per-process obs/v1 documents into one.
+
+The sharded service runs one metrics registry per worker process; the
+dispatcher gathers each worker's snapshot over the wire and merges them
+with :func:`repro.obs.merge_snapshots`.  These tests pin the fold's
+semantics: counters and gauges sum, histograms sum count/total/buckets
+and fold min/max, exemplars union keeping the largest observation per
+bucket, tails are dropped (per-process quantiles cannot be combined
+exactly), and structural mismatches are typed errors rather than silent
+miscounts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import merge_snapshots, validate_snapshot
+from repro.obs.export import snapshot
+from repro.obs.registry import MetricsRegistry
+
+SCHEMA = json.loads(
+    (Path(__file__).resolve().parents[1] / "benchmarks" / "obs_snapshot_schema.json")
+    .read_text()
+)
+
+BOUNDS = (1.0, 10.0, 100.0)
+
+
+def snap(fill) -> dict:
+    registry = MetricsRegistry()
+    fill(registry)
+    return snapshot(registry)
+
+
+def worker_a(registry: MetricsRegistry) -> None:
+    registry.counter("service.requests").inc(3)
+    registry.counter("service.worker.frames").inc(5)
+    registry.gauge("cloaking.regions_cached").set(2)
+    hist = registry.histogram("cloaking.involved", BOUNDS)
+    for value in (0.5, 4.0, 250.0):
+        hist.observe(value)
+
+
+def worker_b(registry: MetricsRegistry) -> None:
+    registry.counter("service.requests").inc(4)
+    registry.counter("service.overloads").inc(1)
+    registry.gauge("cloaking.regions_cached").set(7)
+    hist = registry.histogram("cloaking.involved", BOUNDS)
+    for value in (2.0, 60.0):
+        hist.observe(value)
+
+
+def test_counters_sum_and_union():
+    merged = merge_snapshots([snap(worker_a), snap(worker_b)])
+    assert merged["counters"]["service.requests"] == 7
+    assert merged["counters"]["service.worker.frames"] == 5
+    assert merged["counters"]["service.overloads"] == 1
+
+
+def test_gauges_sum_per_process_quantities():
+    # Each worker's cached-region gauge is a per-process count; the
+    # fleet-wide total is their sum.
+    merged = merge_snapshots([snap(worker_a), snap(worker_b)])
+    assert merged["gauges"]["cloaking.regions_cached"] == 9
+
+
+def test_histograms_sum_buckets_and_fold_min_max():
+    merged = merge_snapshots([snap(worker_a), snap(worker_b)])
+    hist = merged["histograms"]["cloaking.involved"]
+    assert hist["count"] == 5
+    assert hist["total"] == pytest.approx(0.5 + 4.0 + 250.0 + 2.0 + 60.0)
+    assert hist["mean"] == pytest.approx(hist["total"] / 5)
+    assert hist["min"] == 0.5
+    assert hist["max"] == 250.0
+    assert hist["bounds"] == list(BOUNDS)
+    # buckets: <=1: {0.5}; <=10: {4, 2}; <=100: {60}; overflow: {250}
+    assert hist["bucket_counts"] == [1, 2, 1, 1]
+
+
+def test_single_snapshot_is_identity_for_scalars():
+    one = snap(worker_a)
+    merged = merge_snapshots([one])
+    assert merged["counters"] == one["counters"]
+    assert merged["gauges"] == one["gauges"]
+    hist = merged["histograms"]["cloaking.involved"]
+    for key in ("count", "total", "min", "max", "bounds", "bucket_counts"):
+        assert hist[key] == one["histograms"]["cloaking.involved"][key]
+
+
+def test_merged_snapshot_passes_the_checked_in_schema():
+    merged = merge_snapshots([snap(worker_a), snap(worker_b)])
+    assert validate_snapshot(merged, SCHEMA) == []
+
+
+def test_exemplar_union_keeps_largest_value_per_bucket():
+    a, b = snap(worker_a), snap(worker_b)
+    a["histograms"]["cloaking.involved"]["exemplars"] = {
+        "1": {"trace_id": 11, "value": 4.0},
+        "3": {"trace_id": 12, "value": 250.0},
+    }
+    b["histograms"]["cloaking.involved"]["exemplars"] = {
+        "1": {"trace_id": 77, "value": 9.0},
+    }
+    merged = merge_snapshots([a, b])
+    exemplars = merged["histograms"]["cloaking.involved"]["exemplars"]
+    assert exemplars["1"] == {"trace_id": 77, "value": 9.0}  # 9.0 beats 4.0
+    assert exemplars["3"] == {"trace_id": 12, "value": 250.0}
+
+
+def test_tails_are_dropped_not_fabricated():
+    a = snap(worker_a)
+    a["histograms"]["cloaking.involved"]["tails"] = {"p99": 4.2}
+    merged = merge_snapshots([a, snap(worker_b)])
+    assert "tails" not in merged["histograms"]["cloaking.involved"]
+
+
+def test_empty_input_is_a_typed_error():
+    with pytest.raises(ConfigurationError):
+        merge_snapshots([])
+
+
+def test_wrong_schema_tag_is_a_typed_error():
+    bad = snap(worker_a)
+    bad["schema"] = "obs/v0"
+    with pytest.raises(ConfigurationError, match="obs/v1"):
+        merge_snapshots([snap(worker_b), bad])
+
+
+def test_conflicting_bucket_bounds_are_a_typed_error():
+    def other_bounds(registry: MetricsRegistry) -> None:
+        registry.histogram("cloaking.involved", (5.0, 50.0)).observe(1.0)
+
+    with pytest.raises(ConfigurationError, match="bounds"):
+        merge_snapshots([snap(worker_a), snap(other_bounds)])
+
+
+def test_disjoint_histogram_names_all_survive():
+    def only_spans(registry: MetricsRegistry) -> None:
+        registry.span_stats("service.request").observe(0.002)
+
+    merged = merge_snapshots([snap(worker_a), snap(only_spans)])
+    assert "cloaking.involved" in merged["histograms"]
+    assert merged["spans"]["service.request"]["count"] == 1

@@ -1,0 +1,96 @@
+"""Shard-count invisibility: the service == one engine, bit for bit.
+
+The headline property of the sharded runtime (ISSUE 9): for ANY world
+the fuzz strategy can draw and ANY shard count, `CloakingService`
+answers ``request`` and ``request_many`` *bit-identically* to a single
+in-process :class:`CloakingEngine` on the same world — regions (float
+for float), memberships, cost meters, cache flags, and failure outcomes
+alike.  An observer of the answer stream cannot tell how many worker
+processes sit behind the dispatcher, which is exactly what makes the
+shard count a pure deployment knob rather than a semantics change.
+
+Both sides are built from the same :class:`ServiceSpec` (a centralized
+world is coerced to the distributed flavor on BOTH sides — see
+``spec_from_world``), and both sides are read through the same
+:func:`outcome_of` canonicaliser, so "equal" here is plain ``==`` on
+JSON-stable dicts, never an interpretation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+
+from repro.service import CloakingService, build_engine, spec_from_world
+from repro.service.worker import outcomes_of
+from repro.verify.worlds import build_world, world_strategy
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+@settings(max_examples=15)
+@given(world=world_strategy(max_users=32))
+def test_every_shard_count_answers_like_a_single_engine(world):
+    built = build_world(world)
+    hosts = list(built.hosts)
+    # Repeats exercise the registry/region cache paths deliberately.
+    hosts = hosts + hosts[: max(1, len(hosts) // 2)]
+
+    transcripts = {}
+    for shards in SHARD_COUNTS:
+        spec = spec_from_world(world, shards=shards)
+        reference = build_engine(spec)
+        expected = outcomes_of(reference, hosts)
+        with CloakingService(spec) as service:
+            got = [service.request(host) for host in hosts]
+            assert got == expected, (
+                f"shards={shards}: per-request answers diverged from the "
+                "single-process engine"
+            )
+            assert service.registry_clusters() == set(
+                reference.clustering.registry.clusters()
+            ), f"shards={shards}: merged registries differ as sets"
+            assert service.cached_regions() == {
+                members: (region.rect, region.anonymity)
+                for members, region in reference.cached_regions().items()
+            }, f"shards={shards}: merged region caches differ"
+        transcripts[shards] = got
+
+    # Shard-count invisibility, stated directly: the full answer
+    # transcript is identical whatever the fleet size.
+    assert transcripts[1] == transcripts[2] == transcripts[4]
+
+
+@settings(max_examples=10)
+@given(world=world_strategy(max_users=32))
+def test_request_many_scatter_gather_preserves_batch_semantics(world):
+    built = build_world(world)
+    hosts = list(built.hosts)
+    for shards in (2, 4):
+        spec = spec_from_world(world, shards=shards)
+        expected = outcomes_of(build_engine(spec), hosts)
+        with CloakingService(spec) as service:
+            assert service.request_many(hosts) == expected, (
+                f"shards={shards}: request_many diverged from sequential "
+                "single-engine semantics"
+            )
+            # A second identical batch must flow through the caches the
+            # first one installed, exactly like the reference's would.
+            reference = build_engine(spec)
+            outcomes_of(reference, hosts)
+            assert service.request_many(hosts) == outcomes_of(reference, hosts)
+
+
+def test_centralized_worlds_are_coerced_consistently():
+    from repro.verify.worlds import World
+
+    world = World(seed=77, n=24, k=3, mode="centralized", delta=0.2)
+    spec = spec_from_world(world, shards=2)
+    assert spec.flavor == "distributed"
+    built = build_world(world)
+    hosts = list(built.hosts)
+    expected = outcomes_of(build_engine(spec), hosts)
+    with CloakingService(spec) as service:
+        assert [service.request(h) for h in hosts] == expected

@@ -33,6 +33,7 @@ EXPECTED_INVARIANTS = {
     "cluster-tree-equal",
     "trace-ledger-agree",
     "snapshot-replay-equal",
+    "service-shard-equal",
 }
 
 
