@@ -1,0 +1,52 @@
+"""Online adaptive tuning: proactive region sharing + density-driven knobs.
+
+The ROADMAP's last open infrastructure item: the engine's δ and k are
+fixed global constants, and under churn the region cache serves only a
+few percent of requests because every move drains a whole cluster's
+cached geometry.  This package closes both gaps without ever changing
+an answer the untuned engine would have given:
+
+* **Proactive region sharing** (:attr:`TuningPolicy.share_regions`) —
+  the paper's reciprocity property says a cloaked region belongs to the
+  *cluster*, not the requester, so the moment a region exists every
+  member's answer is determined.  The engine pushes the region into a
+  per-member slot at cloak time, and at churn time *pre-computes* each
+  member's own on-demand region over the new positions (the progressive
+  bounding protocol seeds at the requester's coordinate, so the region
+  is requester-dependent — one slot per member keeps the answers
+  bit-identical).  The first member served from a slot promotes its
+  rect to the cluster's cached region, exactly as its on-demand miss
+  would have.
+
+* **Adaptive δ-granularity** (:attr:`TuningPolicy.adapt_delta`) — the
+  WPG's δ is structural (changing it re-wires the graph for everyone),
+  so the per-cell knob is the *granularity floor*: the minimum spatial
+  extent a published region is padded to.  Denser cells need less
+  padding for the same privacy, so the planned δ-scale is monotone
+  non-increasing in cell occupancy; a tuned region is always contained
+  in the untuned one and still covers every member.
+
+* **Oracle-gated k-relaxation** (:attr:`TuningPolicy.relax_k`) — a
+  request that fails sub-k is retried at a relaxed k′ only after the
+  exact level-scan oracle (:func:`repro.verify.oracles.oracle_smallest_cluster`)
+  confirms no k-valid cluster exists; if the oracle finds one, the
+  failure is a defect and is re-raised, never masked.  k′ probes from
+  k-1 down to a per-density-cell floor (dense cells never relax).
+
+Everything is deterministic and replayable: the δ-plan is a pure
+function of the current positions, shared slots are part of the durable
+snapshot, and journal replay re-derives every re-share bit-exactly.
+The differential test layer (``region-share-equal`` and
+``tuning-sound`` in :mod:`repro.verify.invariants`) pins the soundness
+story on fuzzed worlds.
+"""
+
+from repro.tuning.plan import DeltaPlan, build_plan, cell_occupancy
+from repro.tuning.policy import TuningPolicy
+
+__all__ = [
+    "DeltaPlan",
+    "TuningPolicy",
+    "build_plan",
+    "cell_occupancy",
+]

@@ -1,0 +1,127 @@
+"""The δ-plan: per-density-cell tuning targets, derived from occupancy.
+
+A :class:`DeltaPlan` is a pure function of the user positions and the
+policy constants — no request history, no wall clock — which is what
+lets a warm restart (snapshot + journal replay) rebuild the exact plan
+the live engine was using, and lets the monotonicity property tests
+quantify over the plan directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.geometry.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tuning.policy import TuningPolicy
+
+Cell = tuple[int, int]
+
+
+def cell_occupancy(
+    points: Iterable[Point], cell_size: float
+) -> dict[Cell, int]:
+    """Live users per δ-cell over the unit square.
+
+    Mirrors :class:`repro.spatial.grid.GridIndex` bucketing (row/column
+    by floor division, clamped into the boundary cells) without needing
+    the churn runtime to exist — the plan must be computable before the
+    first move and after a restore alike.
+    """
+    n = max(1, math.ceil(1.0 / cell_size))
+    cells: dict[Cell, int] = {}
+    for point in points:
+        cx = min(max(int(point.x / cell_size), 0), n - 1)
+        cy = min(max(int(point.y / cell_size), 0), n - 1)
+        key = (cx, cy)
+        cells[key] = cells.get(key, 0) + 1
+    return cells
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaPlan:
+    """Per-cell tuning targets for one population snapshot.
+
+    ``scale(occupancy)`` is monotone non-increasing and bounded in
+    ``[scale_min, 1]``: cells at or below the pivot occupancy keep the
+    full granularity (scale 1); denser cells shrink hyperbolically —
+    twice the pivot density halves the padding, floored at
+    ``scale_min``.  ``relax_floor`` is the dual knob for k-relaxation:
+    at or above the pivot no relaxation is allowed (a dense cell that
+    fails sub-k is suspicious, not tunable), and the floor decays
+    linearly with occupancy down to the policy's hard ``k_floor``.
+    """
+
+    cell_size: float
+    pivot: float
+    scale_min: float
+    cells: Mapping[Cell, int] = field(default_factory=dict)
+
+    def cell_of(self, point: Point) -> Cell:
+        n = max(1, math.ceil(1.0 / self.cell_size))
+        return (
+            min(max(int(point.x / self.cell_size), 0), n - 1),
+            min(max(int(point.y / self.cell_size), 0), n - 1),
+        )
+
+    def occupancy_at(self, point: Point) -> int:
+        """Live users in ``point``'s cell (0 for an empty cell)."""
+        return self.cells.get(self.cell_of(point), 0)
+
+    def scale(self, occupancy: int) -> float:
+        """Granularity scale for a cell of ``occupancy`` users."""
+        if occupancy <= self.pivot:
+            return 1.0
+        return max(self.scale_min, self.pivot / occupancy)
+
+    def scale_at(self, point: Point) -> float:
+        return self.scale(self.occupancy_at(point))
+
+    def delta_at(self, point: Point, base_delta: float) -> float:
+        """The planned per-cell δ: never above ``base_delta``."""
+        return base_delta * self.scale_at(point)
+
+    def relax_floor(self, occupancy: int, k: int, k_floor: int) -> int:
+        """Lowest k′ a relaxation may reach in a cell of ``occupancy``.
+
+        Monotone non-decreasing in occupancy: ``k`` (no relaxation) at
+        or above the pivot, down to ``k_floor`` as the cell empties.
+        """
+        if k <= k_floor:
+            return k
+        if occupancy >= self.pivot:
+            return k
+        return max(k_floor, math.ceil(k * occupancy / self.pivot))
+
+    def relax_floor_at(self, point: Point, k: int, k_floor: int) -> int:
+        return self.relax_floor(self.occupancy_at(point), k, k_floor)
+
+
+def build_plan(
+    points: Iterable[Point],
+    cell_size: float,
+    policy: "TuningPolicy",
+    k: int,
+) -> DeltaPlan:
+    """Plan the tuning targets for the current positions.
+
+    ``k`` is accepted for symmetry with the engine call site (the floor
+    computation takes it per query); the plan itself depends only on
+    the occupancy map and the policy constants.
+    """
+    cells = cell_occupancy(points, cell_size)
+    if policy.density_pivot is not None:
+        pivot = float(policy.density_pivot)
+    elif cells:
+        pivot = sum(cells.values()) / len(cells)
+    else:
+        pivot = 1.0
+    return DeltaPlan(
+        cell_size=cell_size,
+        pivot=pivot,
+        scale_min=policy.delta_scale_min,
+        cells=cells,
+    )

@@ -1,0 +1,80 @@
+"""The tuning policy: which knobs are live, and their safety bounds."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class TuningPolicy:
+    """Off-by-default switches for the engine's online tuning loop.
+
+    The default-constructed policy disables everything: an engine built
+    with it is bit-identical to one built without a policy at all (the
+    ``sharing-off`` leg of every differential test).
+
+    Parameters
+    ----------
+    share_regions:
+        Proactive reciprocity-based region sharing: push cloaked
+        regions into per-member cache slots and pre-compute each
+        member's on-demand region at churn time.
+    adapt_delta:
+        Scale the granularity floor (``min_area``) per density cell —
+        a no-op for engines with ``min_area == 0``.
+    relax_k:
+        Retry oracle-confirmed sub-k failures at a relaxed k′ down to
+        the per-cell floor.
+    k_floor:
+        Hard lower bound for any relaxed k′ (never below 2: a cluster
+        of one offers no anonymity).
+    delta_scale_min:
+        The tightest per-cell granularity scale; the planned scale
+        lives in ``[delta_scale_min, 1]``.
+    density_pivot:
+        Cell occupancy at which adaptation starts.  ``None`` picks the
+        mean occupancy over non-empty cells at plan time, which keeps
+        the plan a pure function of the positions.
+    """
+
+    share_regions: bool = False
+    adapt_delta: bool = False
+    relax_k: bool = False
+    k_floor: int = 2
+    delta_scale_min: float = 0.25
+    density_pivot: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.k_floor < 2:
+            raise ConfigurationError(
+                f"k_floor must be >= 2 (k=1 is no anonymity), got {self.k_floor}"
+            )
+        if not 0.0 < self.delta_scale_min <= 1.0:
+            raise ConfigurationError(
+                f"delta_scale_min must be in (0, 1], got {self.delta_scale_min}"
+            )
+        if self.density_pivot is not None and self.density_pivot <= 0.0:
+            raise ConfigurationError(
+                f"density_pivot must be positive, got {self.density_pivot}"
+            )
+
+    def enabled(self) -> bool:
+        """Whether any knob is live (False for the default policy)."""
+        return self.share_regions or self.adapt_delta or self.relax_k
+
+    def to_meta(self) -> dict:
+        """JSON-ready payload (snapshot meta, service specs)."""
+        return asdict(self)
+
+    @classmethod
+    def from_meta(cls, payload: dict) -> "TuningPolicy":
+        """Inverse of :meth:`to_meta`; unknown keys are rejected."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - set of names
+        extra = set(payload) - known
+        if extra:
+            raise ConfigurationError(
+                f"unknown tuning policy keys: {sorted(extra)}"
+            )
+        return cls(**payload)

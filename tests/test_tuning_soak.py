@@ -1,0 +1,196 @@
+"""Seeded soak for the tuning layer: sharing + persistence under churn.
+
+A long-lived engine with ``share_regions`` on runs 220 interleaved
+operations — random-waypoint churn batches, cloaking requests, explicit
+``retune()`` ticks, and checkpoint/warm-restart cycles through
+:mod:`repro.persist` — lock-stepped against an untuned reference engine
+consuming the identical schedule.  The operational checks:
+
+* every answer (members, region bits, anonymity, typed failures) equals
+  the untuned reference's, at every step, across every restart;
+* the engine's cache accounting stays an identity:
+  ``shared_hits + demand_hits + misses == requests``;
+* the persisted tuning state round-trips — the restored engine carries
+  the same policy, the same shared slots bit for bit, and the same
+  region cache as the engine that checkpointed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cloaking.engine import CloakingEngine
+from repro.config import SimulationConfig
+from repro.datasets.base import MutablePointDataset
+from repro.datasets.synthetic import uniform_points
+from repro.graph.build import build_wpg_fast
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.obs import names as metric
+from repro.persist import PersistentStore
+from repro.tuning import TuningPolicy
+
+N = 300
+OPERATIONS = 220
+MOVERS_PER_TICK = 8
+
+
+def _answer(engine, host):
+    try:
+        r = engine.request(host)
+    except Exception as exc:
+        return ("err", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        tuple(sorted(r.cluster.members)),
+        r.region.rect,
+        r.region.anonymity,
+        r.region.cluster_id,
+    )
+
+
+@pytest.fixture(scope="module")
+def soak(tmp_path_factory):
+    base = uniform_points(N, seed=33)
+    config = SimulationConfig(
+        user_count=N, k=4, delta=0.08, max_peers=6, seed=33
+    )
+    graph = build_wpg_fast(base, config.delta, config.max_peers)
+
+    def make(tuning):
+        return CloakingEngine(
+            MutablePointDataset.from_dataset(base),
+            graph.copy(),
+            config,
+            tuning=tuning,
+        )
+
+    store = PersistentStore(tmp_path_factory.mktemp("tuning-soak"))
+    tuned = make(TuningPolicy(share_regions=True))
+    reference = make(None)
+    tuned.enable_persistence(store)
+
+    walkers = RandomWaypointModel(
+        base, min_speed=0.005, max_speed=0.03, seed=91
+    )
+    rng = np.random.default_rng(4021)
+    registry = obs.enable(obs.MetricsRegistry())
+    stats = {
+        "requests": 0,
+        "served": 0,
+        "failed": 0,
+        "churn": 0,
+        "retunes": 0,
+        "restores": 0,
+        "shared_serves": 0,
+        "divergences": [],
+    }
+    try:
+        for _op in range(OPERATIONS):
+            roll = rng.random()
+            if roll < 0.45:
+                host = int(rng.integers(0, N))
+                got = _answer(tuned, host)
+                want = _answer(reference, host)
+                if got != want:
+                    stats["divergences"].append((host, got, want))
+                stats["requests"] += 1
+                stats["served" if got[0] == "ok" else "failed"] += 1
+                if got[0] == "ok":
+                    slot = tuned.shared_slots().get(host)
+                    if slot is not None:
+                        stats["shared_serves"] += 1
+            elif roll < 0.75:
+                movers = rng.choice(N, size=MOVERS_PER_TICK, replace=False)
+                batch = walkers.step_subset(np.sort(movers))
+                tuned.apply_moves(batch)
+                reference.apply_moves(batch)
+                stats["churn"] += 1
+            elif roll < 0.90:
+                tuned.retune()
+                stats["retunes"] += 1
+            else:
+                tuned.checkpoint()
+                tuned.disable_persistence()
+                restored = CloakingEngine.restore(store)
+                assert restored.tuning == tuned.tuning, (
+                    "restored engine lost the tuning policy"
+                )
+                assert restored.shared_slots() == tuned.shared_slots(), (
+                    "shared slots did not round-trip through the snapshot"
+                )
+                assert restored.cached_regions() == tuned.cached_regions()
+                assert restored.dataset.points == tuned.dataset.points
+                tuned = restored  # continue the soak on the warm restart
+                stats["restores"] += 1
+    finally:
+        obs.disable()
+    tuned.disable_persistence()
+    return registry, stats, tuned, reference
+
+
+def test_soak_exercised_every_op(soak):
+    _registry, stats, tuned, _reference = soak
+    assert stats["requests"] + stats["churn"] + stats["retunes"] + stats[
+        "restores"
+    ] == OPERATIONS
+    assert stats["served"] > 0
+    assert stats["churn"] > 0
+    assert stats["retunes"] > 0
+    assert stats["restores"] > 0, "the soak never exercised a warm restart"
+    assert stats["shared_serves"] > 0, (
+        "no request was ever in a position to hit a shared slot — the "
+        "workload is not exercising proactive sharing"
+    )
+    assert tuned.shared_slots(), "soak ended with no shared slots at all"
+
+
+def test_lock_step_transcripts_never_diverged(soak):
+    _registry, stats, _tuned, _reference = soak
+    assert stats["divergences"] == [], (
+        f"sharing changed {len(stats['divergences'])} answer(s); first: "
+        f"{stats['divergences'][:1]}"
+    )
+
+
+def test_cache_accounting_identity(soak):
+    registry, _stats, _tuned, _reference = soak
+    counters = registry.counters
+
+    def value(name):
+        counter = counters.get(name)
+        return counter.value if counter is not None else 0
+
+    requests = value(metric.CLOAKING_REQUESTS)
+    hits = value(metric.CLOAKING_CACHE_HITS)
+    misses = value(metric.CLOAKING_CACHE_MISSES)
+    shared = value(metric.ENGINE_CACHE_SHARED_HITS)
+    demand = value(metric.ENGINE_CACHE_DEMAND_HITS)
+    assert shared + demand == hits, (
+        f"hit split broken: shared={shared} demand={demand} hits={hits}"
+    )
+    assert shared + demand + misses == requests, (
+        f"accounting identity broken: shared={shared} demand={demand} "
+        f"misses={misses} requests={requests}"
+    )
+    assert shared > 0, "the soak never served a shared hit"
+
+
+def test_final_states_converged(soak):
+    _registry, _stats, tuned, reference = soak
+    assert tuned.cached_regions() == reference.cached_regions()
+    assert set(tuned.clustering.registry.clusters()) == set(
+        reference.clustering.registry.clusters()
+    )
+    # Every surviving slot is fresh: its cluster is registered and its
+    # rect is what the member's on-demand request would compute now.
+    regions = tuned.cached_regions()
+    for member, (members, rect) in tuned.shared_slots().items():
+        assert tuned.clustering.registry.cluster_of(member) == members
+        cached = regions.get(members)
+        if cached is not None:
+            assert rect == cached.rect
+        else:
+            fresh, _ = tuned._bound(members, member)
+            assert rect == tuned._enforce_granularity(fresh, member)

@@ -34,6 +34,8 @@ EXPECTED_INVARIANTS = {
     "trace-ledger-agree",
     "snapshot-replay-equal",
     "service-shard-equal",
+    "region-share-equal",
+    "tuning-sound",
 }
 
 
